@@ -1,0 +1,24 @@
+"""Section III-A layout statistics.
+
+Paper: 94.6% of AUIs place the AGO centrally; 73.1% of AUIs with a UPO
+place it in a corner; 35.1% of AUIs are first-party (376/1,072), the
+rest come from third-party components.
+"""
+
+from repro.bench import print_table
+
+
+def test_layout_patterns(benchmark, corpus_and_splits):
+    corpus, _ = corpus_and_splits
+    stats = benchmark.pedantic(corpus.layout_statistics,
+                               rounds=1, iterations=1)
+    rows = [
+        ["AGO placed centrally", f"{stats['ago_central']:.1%}", "94.6%"],
+        ["UPO placed in a corner", f"{stats['upo_corner']:.1%}", "73.1%"],
+        ["First-party AUIs", f"{stats['first_party']:.1%}", "35.1%"],
+    ]
+    print_table(["Layout pattern", "Measured", "Paper"], rows,
+                title="Section III-A: Layout patterns of AUI")
+    assert abs(stats["ago_central"] - 0.946) < 0.005
+    assert abs(stats["upo_corner"] - 0.731) < 0.005
+    assert abs(stats["first_party"] - 0.351) < 0.005

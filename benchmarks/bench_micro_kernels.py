@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the hot kernels.
+
+These use pytest-benchmark's repeated timing (no pedantic one-shots):
+the conv forward pass, the IoU matrix, NMS, screen rendering, and the
+end-to-end per-frame detection latency that the paper's overhead model
+depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.android import Device, View, render_screen
+from repro.datagen import build_aui_screen
+from repro.datagen.specs import AuiType, SampleSpec
+from repro.geometry import Rect, ScoredBox, non_max_suppression, pairwise_iou
+from repro.imaging.color import PALETTE
+from repro.vision.nn import Conv2D
+
+
+@pytest.fixture(scope="module")
+def screen_image():
+    spec = SampleSpec(index=0, aui_type=AuiType.ADVERTISEMENT, has_ago=True,
+                      n_upo=1, ago_central=True, upo_corner=True,
+                      fullscreen=False, first_party=False, hard_upo=False,
+                      style_seed=99)
+    from repro.datagen.corpus import render_state
+    img, _ = render_state(build_aui_screen(spec))
+    return img
+
+
+def test_micro_conv_forward(benchmark):
+    conv = Conv2D(16, 24, kernel=3, rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).normal(0, 1, (1, 16, 64, 36)).astype(np.float32)
+    out = benchmark(lambda: conv.forward(x))
+    assert out.shape == (1, 24, 64, 36)
+
+
+def test_micro_pairwise_iou(benchmark):
+    rng = np.random.default_rng(0)
+    boxes = [Rect(float(rng.uniform(0, 300)), float(rng.uniform(0, 600)),
+                  float(rng.uniform(10, 60)), float(rng.uniform(10, 60)))
+             for _ in range(64)]
+    matrix = benchmark(lambda: pairwise_iou(boxes, boxes))
+    assert matrix.shape == (64, 64)
+
+
+def test_micro_nms(benchmark):
+    rng = np.random.default_rng(0)
+    boxes = [ScoredBox(Rect(float(rng.uniform(0, 300)), float(rng.uniform(0, 600)),
+                            30, 30), "UPO", float(rng.uniform(0.1, 1.0)))
+             for _ in range(48)]
+    kept = benchmark(lambda: non_max_suppression(boxes))
+    assert kept
+
+
+def test_micro_render_screen(benchmark):
+    device = Device(seed=0)
+    root = View(bounds=Rect(0, 0, 360, 568), bg_color=PALETTE["white"])
+    for i in range(12):
+        root.add_child(View(bounds=Rect(20, 20 + i * 44, 320, 36),
+                            bg_color=PALETTE["light_gray"], corner_radius=6))
+    device.window_manager.attach_app_window(root, "com.demo")
+    canvas = benchmark(lambda: render_screen(device.window_manager))
+    assert canvas.pixels.shape == (640, 360, 3)
+
+
+def test_micro_detect_screen_latency(benchmark, trained_model, screen_image):
+    """Per-frame end-to-end latency (preprocess + CNN + refine)."""
+    dets = benchmark(lambda: trained_model.detect_screen(screen_image))
+    assert isinstance(dets, list)

@@ -1,0 +1,34 @@
+"""Table I — distribution of AUI types across the 1,072-sample corpus.
+
+Paper: Advertisement 696 (64.9%), Sales promotion 179 (16.7%), Lucky
+money 131 (12.2%), App upgrade 43 (4.0%), Operation guide 16 (1.5%),
+Feedback request 4 (0.4%), Sensitive permission request 3 (0.3%).
+"""
+
+from repro.bench import print_table
+from repro.datagen import TABLE1_QUOTAS
+
+
+def test_table1_aui_type_distribution(benchmark, corpus_and_splits):
+    corpus, _ = corpus_and_splits
+
+    def run():
+        return corpus.type_distribution()
+
+    distribution = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = sum(distribution.values())
+    rows = []
+    for aui_type, count in sorted(distribution.items(),
+                                  key=lambda kv: -kv[1]):
+        rows.append([
+            aui_type.value, count, f"{count / total:.1%}",
+            TABLE1_QUOTAS[aui_type],
+        ])
+    rows.append(["Total", total, "100%", sum(TABLE1_QUOTAS.values())])
+    print_table(
+        ["AUI Type", "Measured", "Pct", "Paper"],
+        rows,
+        title="Table I: Distribution of different types of AUI",
+    )
+    assert distribution == TABLE1_QUOTAS
+    assert total == 1072

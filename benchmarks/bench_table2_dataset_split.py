@@ -1,0 +1,34 @@
+"""Table II — ground-truth dataset split (6:2:2).
+
+Paper: train 642 shots (453 AGO / 657 UPO), val 215 (150 / 223),
+test 215 (141 / 222).  (The paper's printed UPO total, 1,103, is one
+more than its own split rows sum to; we honour the rows.)
+"""
+
+from repro.bench import print_table
+from repro.datagen import TABLE2_SPLITS
+from repro.datagen.splits import split_summary
+
+
+def test_table2_dataset_split(benchmark, corpus_and_splits):
+    _, splits = corpus_and_splits
+
+    summary = benchmark.pedantic(lambda: split_summary(splits),
+                                 rounds=1, iterations=1)
+
+    rows = []
+    for name, label in (("train", "Training Set"), ("val", "Validation Set"),
+                        ("test", "Testing Set")):
+        shots, ago, upo = summary[name]
+        p_shots, p_ago, p_upo = TABLE2_SPLITS[name]
+        rows.append([label, ago, upo, shots,
+                     f"{p_ago}/{p_upo}/{p_shots}"])
+    total = tuple(sum(summary[n][i] for n in summary) for i in range(3))
+    rows.append(["Total", total[1], total[2], total[0], "744/1102/1072"])
+    print_table(
+        ["Set Type", "AGO", "UPO", "Total shots", "Paper (AGO/UPO/shots)"],
+        rows,
+        title="Table II: Distribution of the ground-truth dataset D_aui",
+    )
+    for name in ("train", "val", "test"):
+        assert summary[name] == TABLE2_SPLITS[name]

@@ -1,0 +1,40 @@
+"""Table III — overall effectiveness of DARPA (on-device model).
+
+Paper (YOLOv5 ported with ncnn, IoU threshold 0.9):
+UPO P/R/F1 = 0.901/0.852/0.876; AGO = 0.815/0.802/0.808;
+All = 0.858/0.827/0.842.
+"""
+
+from repro.bench import evaluate_detector, print_table
+from repro.vision import PortConfig, port_model
+
+PAPER = {
+    "UPO": (0.901, 0.852, 0.876),
+    "AGO": (0.815, 0.802, 0.808),
+    "All": (0.858, 0.827, 0.842),
+}
+
+
+def test_table3_overall_effectiveness(benchmark, trained_model, test_dataset):
+    ported = port_model(trained_model, PortConfig(quantization="fp16"))
+
+    result = benchmark.pedantic(
+        lambda: evaluate_detector(ported, test_dataset),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for name in ("UPO", "AGO", "All"):
+        p, r, f = result.row(name)
+        pp, pr, pf = PAPER[name]
+        rows.append([name, p, r, f, f"{pp}/{pr}/{pf}"])
+    print_table(["AUI Type", "Precision", "Recall", "F1", "Paper (P/R/F1)"],
+                rows, title="Table III: Overall effectiveness of DARPA")
+
+    # Shape assertions: high-precision detection of both options, with
+    # the pooled F1 in the paper's neighbourhood.
+    _, _, f_all = result.row("All")
+    assert f_all > 0.70, "pooled F1 collapsed"
+    for name in ("UPO", "AGO"):
+        p, r, _ = result.row(name)
+        assert p > 0.6 and r > 0.55, f"{name} degenerated: P={p} R={r}"

@@ -1,0 +1,59 @@
+"""Table VI — end-to-end DARPA vs a FraudDroid-like approach.
+
+100 apps run for one minute each; every settled screen is judged both
+by DARPA's CV pipeline (screenshots) and by the FraudDroid-like
+heuristics (ADB metadata).  Paper confusion matrices over the 243
+UPO-bearing screenshots and 253 non-AUI screenshots:
+
+    FraudDroid: 35 AUI hits / 208 missed; 11 FP / 242 TN
+    DARPA:     213 AUI hits /  30 missed; 21 FP / 232 TN
+"""
+
+from repro.baselines import FraudDroidDetector
+from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet
+from repro.bench.tables import echo
+from repro.vision import PortConfig, port_model
+from repro.vision.metrics import ScreenConfusion
+
+
+def test_table6_darpa_vs_frauddroid(benchmark, trained_model):
+    sessions = build_runtime_fleet(n_apps=100, seed=0)
+    ported = port_model(trained_model, PortConfig(quantization="fp16"))
+    frauddroid = FraudDroidDetector()
+
+    def run():
+        results = run_darpa_over_fleet(sessions, ported, ct_ms=200.0,
+                                       mode="full", frauddroid=frauddroid)
+        darpa = ScreenConfusion()
+        fraud = ScreenConfusion()
+        for res in results:
+            for labeled, flagged in res.screen_verdicts:
+                darpa.add_screen(labeled, flagged)
+            for labeled, flagged in res.frauddroid_verdicts:
+                fraud.add_screen(labeled, flagged)
+        return darpa, fraud
+
+    darpa, fraud = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["FraudDroid", "AUI", fraud.tp, fraud.fn, "35 / 208"],
+        ["FraudDroid", "Non-AUI", fraud.fp, fraud.tn, "11 / 242"],
+        ["DARPA", "AUI", darpa.tp, darpa.fn, "213 / 30"],
+        ["DARPA", "Non-AUI", darpa.fp, darpa.tn, "21 / 232"],
+    ]
+    print_table(
+        ["Detector", "Labeled", "Flagged AUI", "Flagged non-AUI",
+         "Paper (AUI/non-AUI)"],
+        rows, title="Table VI: Confusion matrix of DARPA and FraudDroid",
+    )
+    echo(f"DARPA:      recall={darpa.recall:.3f} precision={darpa.precision:.3f} "
+          f"(paper: 0.876 / 0.910)")
+    echo(f"FraudDroid: recall={fraud.recall:.3f} precision={fraud.precision:.3f} "
+          f"(paper: 0.144 / 0.761)")
+
+    # Shape assertions: CV coverage dwarfs metadata heuristics.
+    assert darpa.recall > 0.7
+    assert fraud.recall < 0.35
+    assert darpa.recall > 3 * fraud.recall
+    # Both keep decent precision (heuristics are precise when they fire).
+    assert darpa.precision > 0.75

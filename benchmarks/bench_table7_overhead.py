@@ -1,0 +1,84 @@
+"""Table VII — performance overhead of DARPA, decomposed by component.
+
+100 replayed one-minute sessions, measured under four configurations:
+baseline (no DARPA), + UI monitoring, + AUI detection, + UI decoration.
+Paper averages: baseline 55.22% CPU / 4291.96 MB / 81 fps / 443.85 mW;
+full DARPA 57.76% / 4413.85 MB / 74 fps / 474.12 mW — a total overhead
+of +4.6% CPU, +2.8% memory, −8.6% frame rate, +6.8% power.
+"""
+
+import numpy as np
+
+from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet
+from repro.vision import PortConfig, port_model
+
+PAPER_ROWS = {
+    "Baseline (w/o DARPA)": (55.22, 4291.96, 81, 443.85),
+    "Baseline + UI monitoring": (55.91, 4352.21, 79, 451.88),
+    "Baseline + UI monitoring + AUI detection": (57.11, 4407.56, 78, 469.63),
+    "DARPA (monitoring + detection + decoration)": (57.76, 4413.85, 74, 474.12),
+}
+
+MODES = {
+    "Baseline (w/o DARPA)": "baseline",
+    "Baseline + UI monitoring": "monitor",
+    "Baseline + UI monitoring + AUI detection": "detect",
+    "DARPA (monitoring + detection + decoration)": "full",
+}
+
+
+def _mean_report(results):
+    cpu = float(np.mean([r.perf.cpu_pct for r in results]))
+    mem = float(np.mean([r.perf.memory_mb for r in results]))
+    fps = float(np.mean([r.perf.fps for r in results]))
+    mw = float(np.mean([r.perf.power_mw for r in results]))
+    return cpu, mem, fps, mw
+
+
+def test_table7_performance_overhead(benchmark, trained_model):
+    sessions = build_runtime_fleet(n_apps=100, seed=0)
+    ported = port_model(trained_model, PortConfig(quantization="fp16"))
+
+    def run():
+        out = {}
+        for label, mode in MODES.items():
+            results = run_darpa_over_fleet(sessions, ported, ct_ms=200.0,
+                                           mode=mode)
+            out[label] = _mean_report(results)
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, (cpu, mem, fps, mw) in measured.items():
+        p_cpu, p_mem, p_fps, p_mw = PAPER_ROWS[label]
+        rows.append([label, f"{cpu:.2f}", f"{mem:.1f}", f"{fps:.0f}",
+                     f"{mw:.1f}", f"{p_cpu}/{p_mem}/{p_fps}/{p_mw}"])
+    base = measured["Baseline (w/o DARPA)"]
+    full = measured["DARPA (monitoring + detection + decoration)"]
+    rows.append([
+        "Total overhead",
+        f"+{(full[0] - base[0]) / base[0]:.1%}",
+        f"+{(full[1] - base[1]) / base[1]:.1%}",
+        f"{(full[2] - base[2]) / base[2]:.1%}",
+        f"+{(full[3] - base[3]) / base[3]:.1%}",
+        "+4.6% / +2.8% / -8.6% / +6.8%",
+    ])
+    print_table(
+        ["Configuration", "CPU %", "Memory MB", "FPS", "Power mW",
+         "Paper (cpu/mem/fps/mW)"],
+        rows, title="Table VII: Performance overhead of DARPA",
+    )
+
+    # Shape assertions: monotone cost growth, detection dominates, and
+    # the total stays in the paper's "low single-digit percent" regime.
+    cpu = [measured[k][0] for k in PAPER_ROWS]
+    assert cpu == sorted(cpu), "each component must add CPU"
+    detect_step = measured["Baseline + UI monitoring + AUI detection"][3] - \
+        measured["Baseline + UI monitoring"][3]
+    deco_step = full[3] - measured["Baseline + UI monitoring + AUI detection"][3]
+    monitor_step = measured["Baseline + UI monitoring"][3] - base[3]
+    assert detect_step > monitor_step > 0, "detection is the dominant cost"
+    assert detect_step > deco_step > 0
+    assert (full[0] - base[0]) / base[0] < 0.12, "CPU overhead must stay small"
+    assert (base[2] - full[2]) / base[2] < 0.20, "fps drop must stay small"

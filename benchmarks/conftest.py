@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it next to the published values.  Heavy artifacts (the trained detector,
+rendered splits, runtime fleets) are cached — in process via the
+fixtures here, across processes via ``repro.bench.cache`` — so the
+suite runs end-to-end without retraining per table.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import get_corpus_and_splits, get_test_dataset, get_trained_model
+
+
+# Output capture is disabled project-wide (addopts = "-s"): the whole
+# point of these benchmarks is the regenerated paper tables they print,
+# and pytest's fd-level capture cannot be reliably suspended per
+# directory (its own runtest wrapper re-enables capture inside any
+# conftest wrapper).
+
+
+@pytest.fixture(scope="session")
+def corpus_and_splits():
+    return get_corpus_and_splits(seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_model():
+    """The benchmark detector (trained once, cached on disk)."""
+    return get_trained_model()
+
+
+@pytest.fixture(scope="session")
+def test_dataset():
+    return get_test_dataset()
+
+
+def one_shot(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

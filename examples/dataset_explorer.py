@@ -1,0 +1,82 @@
+"""Dataset explorer: corpus statistics and rendered screen previews.
+
+Regenerates the measurement-study numbers (Tables I/II, the layout
+statistics of Section III-A) and writes a handful of rendered AUI
+screens — with their ground-truth boxes burned in — as PPM images you
+can open in any viewer.
+
+Run:  python examples/dataset_explorer.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.datagen import build_corpus, split_corpus, to_coco
+from repro.datagen.corpus import render_state
+from repro.datagen.splits import split_summary
+from repro.geometry import Rect
+from repro.imaging import Canvas
+from repro.imaging.color import PALETTE
+
+
+def save_ppm(path: Path, image: np.ndarray) -> None:
+    """Write an (H, W, 3) float image as a binary PPM file."""
+    data = (np.clip(image, 0, 1) * 255).astype(np.uint8)
+    h, w = data.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode())
+        fh.write(data.tobytes())
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "dataset_previews")
+    out_dir.mkdir(exist_ok=True)
+
+    corpus = build_corpus(seed=0)
+    print("== Table I: AUI type distribution ==")
+    for aui_type, count in sorted(corpus.type_distribution().items(),
+                                  key=lambda kv: -kv[1]):
+        print(f"  {aui_type.value:<32} {count:>5}  "
+              f"({count / len(corpus.samples):.1%})")
+
+    ago, upo = corpus.box_totals()
+    print(f"\n== Box totals ==  AGO: {ago}, UPO: {upo}")
+
+    stats = corpus.layout_statistics()
+    print("\n== Section III-A layout patterns ==")
+    print(f"  central AGOs:   {stats['ago_central']:.1%} (paper 94.6%)")
+    print(f"  corner UPOs:    {stats['upo_corner']:.1%} (paper 73.1%)")
+    print(f"  first-party:    {stats['first_party']:.1%} (paper 35.1%)")
+
+    splits = split_corpus(corpus)
+    print("\n== Table II: splits ==")
+    for name, (shots, n_ago, n_upo) in split_summary(splits).items():
+        print(f"  {name:<6} shots={shots:>4} AGO={n_ago:>4} UPO={n_upo:>4}")
+
+    coco = to_coco(splits["test"][:50])
+    print(f"\nCOCO export sample: {len(coco['images'])} images, "
+          f"{len(coco['annotations'])} annotations, "
+          f"categories={[c['name'] for c in coco['categories']]}")
+
+    print(f"\nRendering previews into {out_dir}/ ...")
+    seen_types = set()
+    for sample in corpus.samples:
+        if sample.aui_type in seen_types:
+            continue
+        seen_types.add(sample.aui_type)
+        img, labels = render_state(sample.screen, noise_seed=1)
+        canvas = Canvas.from_array(img)
+        for role, rect in labels:
+            color = PALETTE["green"] if role == "UPO" else PALETTE["red"]
+            canvas.stroke_rect(rect.inflated(3), color, thickness=2)
+        slug = sample.aui_type.name.lower()
+        save_ppm(out_dir / f"aui_{slug}.ppm", canvas.pixels)
+        print(f"  aui_{slug}.ppm  "
+              f"({len(labels)} labeled options, app {sample.app.package})")
+    print("Done — green boxes mark UPOs, red boxes mark AGOs.")
+
+
+if __name__ == "__main__":
+    main()

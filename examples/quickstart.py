@@ -1,0 +1,87 @@
+"""Quickstart: train a small AUI detector and run DARPA end to end.
+
+This is the 2-minute tour: build the synthetic corpus, train a reduced
+TinyYOLO on a slice of it, deploy the ported model into a simulated
+Android device, replay an app session that pops an AUI interstitial,
+and watch DARPA decorate the user-preferred option.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.android import AppSpec, Device, SimulatedApp, UiStep, UiTimeline
+from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
+from repro.datagen import build_corpus, build_non_aui_screen, split_corpus
+from repro.datagen.templates import build_aui_screen
+from repro.vision import (
+    PortConfig,
+    TinyYolo,
+    YoloConfig,
+    YoloTrainer,
+    build_detection_dataset,
+    port_model,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    print("1) Building the synthetic AUI corpus (Tables I/II)...")
+    corpus = build_corpus(seed=0)
+    splits = split_corpus(corpus)
+    print(f"   {len(corpus.samples)} AUI screenshots across "
+          f"{len(corpus.apps)} apps; split "
+          f"{[len(v) for v in splits.values()]}")
+
+    print("2) Training a small detector (120 images, 25 epochs)...")
+    train = build_detection_dataset(splits["train"][:120])
+    model = TinyYolo(YoloConfig(), seed=0)
+    history = YoloTrainer(model, lr=2e-3, batch_size=16).fit(train, epochs=25)
+    print(f"   final training loss: {history.final_loss:.3f}")
+
+    print("3) Porting the model for mobile deployment (ncnn-style)...")
+    ported = port_model(model, PortConfig(quantization="fp16"))
+    print(f"   {ported.layer_count()} layers, "
+          f"{ported.model_size_bytes() / 1024:.0f} KiB of weights, "
+          f"~{ported.inference_time_ms():.0f} ms/frame simulated")
+
+    print("4) Replaying an app session under DARPA...")
+    device = Device(seed=1)
+    aui_sample = splits["test"][0]
+    aui_screen = build_aui_screen(aui_sample.spec, package="com.demo.shop")
+    timeline = UiTimeline([
+        UiStep(0, build_non_aui_screen(rng, package="com.demo.shop")),
+        UiStep(2_000, aui_screen, minor_updates=2, minor_spacing_ms=60),
+        UiStep(8_000, build_non_aui_screen(rng, package="com.demo.shop")),
+    ])
+    app = SimulatedApp(device, AppSpec(package="com.demo.shop",
+                                       timeline=timeline))
+    policy = ScreenshotPolicy()
+    print("   privacy policy shown to the user:")
+    print("   " + policy.give_consent()[:72] + "...")
+    service = DarpaService(device, ported,
+                           config=DarpaConfig(ct_ms=200.0),
+                           policy=policy)
+    service.start()
+    app.launch()
+    device.clock.advance(10_000)
+
+    stats = service.stats
+    print(f"   events seen: {stats.events_seen}, screens analyzed: "
+          f"{stats.screens_analyzed}, AUIs flagged: {stats.auis_flagged}, "
+          f"decorations drawn: {stats.decorations_drawn}")
+    for record in stats.records:
+        if record.flagged_aui:
+            for det in record.detections:
+                r = det.rect
+                print(f"   -> {det.label} @ ({r.x:.0f},{r.y:.0f}) "
+                      f"{r.w:.0f}x{r.h:.0f} (score {det.score:.2f})")
+    print(f"   screenshots captured: {policy.captures}, "
+          f"rinsed: {policy.rinses} (outstanding: {policy.outstanding})")
+    service.stop()
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

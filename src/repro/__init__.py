@@ -1,0 +1,23 @@
+"""repro — reproduction of DARPA (DSN 2023).
+
+DARPA detects *Asymmetric Dark UI* (AUI) patterns on Android at run time
+with a one-stage CV detector and mitigates them by decorating the
+User-Preferred Option (UPO) with a high-contrast overlay.
+
+Top-level layout:
+
+- :mod:`repro.geometry` — rectangles, IoU, NMS, detector grids.
+- :mod:`repro.imaging` — NumPy raster canvas, color/contrast math.
+- :mod:`repro.android` — simulated Android substrate (views, windows,
+  accessibility service, apps, Monkey, device cost model).
+- :mod:`repro.datagen` — synthetic AUI corpus generator (Tables I/II).
+- :mod:`repro.vision` — pure-NumPy NN library, TinyYOLO one-stage
+  detector, RCNN-style baselines, ncnn-like porting, metrics.
+- :mod:`repro.baselines` — FraudDroid-like heuristic detector.
+- :mod:`repro.core` — the DARPA runtime service (debounce → screenshot
+  → detect → calibrate → decorate).
+- :mod:`repro.userstudy` — survey instrument + simulated respondents.
+- :mod:`repro.bench` — experiment harness shared by benchmarks.
+"""
+
+__version__ = "1.0.0"

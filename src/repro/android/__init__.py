@@ -1,0 +1,75 @@
+"""A simulated Android substrate.
+
+DARPA runs on a phone; this package is the phone.  It reproduces, in a
+deterministic discrete-event simulation, every Android mechanism the
+paper's runtime depends on:
+
+- view trees with bounds, colors, text, clickability and resource ids
+  (:mod:`repro.android.view`, :mod:`repro.android.resources`);
+- windows, the status/navigation bars, full-screen vs windowed modes,
+  and a ``WindowManager`` that hosts overlay views
+  (:mod:`repro.android.window`);
+- the 23 ``AccessibilityEvent`` types and an ``AccessibilityService``
+  with event subscription, notification throttling, screenshots and
+  dispatched clicks (:mod:`repro.android.events`,
+  :mod:`repro.android.accessibility`);
+- a renderer that rasterizes the window stack into screenshots
+  (:mod:`repro.android.renderer`);
+- scripted apps whose UI timelines emit realistic event streams
+  (:mod:`repro.android.apps`), and a Monkey-style exerciser
+  (:mod:`repro.android.monkey`);
+- a SoloPi-like device cost model that turns counted work into CPU,
+  memory, frame-rate and power figures (:mod:`repro.android.device`);
+- an ``adb``-style metadata dump of the view hierarchy
+  (:mod:`repro.android.adb`).
+"""
+
+from repro.android.clock import SimulatedClock
+from repro.android.resources import ResourceId, ResourceIdPolicy
+from repro.android.view import View, ViewGroup, Visibility, SemanticRole
+from repro.android.window import (
+    LayoutParams,
+    Screen,
+    Window,
+    WindowManager,
+    WindowType,
+)
+from repro.android.events import AccessibilityEvent, AccessibilityEventType
+from repro.android.renderer import render_screen, render_window
+from repro.android.accessibility import AccessibilityService, Screenshot
+from repro.android.device import Device, DeviceProfile, PerfMeter, PerfReport
+from repro.android.apps import AppSpec, SimulatedApp, UiTimeline, UiStep
+from repro.android.monkey import Monkey
+from repro.android.adb import dump_view_hierarchy, NodeInfo
+
+__all__ = [
+    "SimulatedClock",
+    "ResourceId",
+    "ResourceIdPolicy",
+    "View",
+    "ViewGroup",
+    "Visibility",
+    "SemanticRole",
+    "LayoutParams",
+    "Screen",
+    "Window",
+    "WindowManager",
+    "WindowType",
+    "AccessibilityEvent",
+    "AccessibilityEventType",
+    "render_screen",
+    "render_window",
+    "AccessibilityService",
+    "Screenshot",
+    "Device",
+    "DeviceProfile",
+    "PerfMeter",
+    "PerfReport",
+    "AppSpec",
+    "SimulatedApp",
+    "UiTimeline",
+    "UiStep",
+    "Monkey",
+    "dump_view_hierarchy",
+    "NodeInfo",
+]

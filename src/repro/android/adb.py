@@ -1,0 +1,73 @@
+"""ADB-style view-hierarchy dumps.
+
+The paper's FraudDroid comparison feeds screenshots to DARPA and "the
+corresponding metadata of screenshots captured by ADB tool" to the
+heuristic baseline.  ``dump_view_hierarchy`` is that metadata path: a
+flat list of :class:`NodeInfo` records carrying resource ids, bounds in
+screen coordinates, clickability and text — everything a
+``uiautomator dump`` exposes, and nothing a CV model would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry.rect import Rect
+from repro.android.view import View, Visibility
+from repro.android.window import Window, WindowManager
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One node of an exported hierarchy dump."""
+
+    resource_id: str  # fully qualified, or "" when the view has none
+    bounds: Rect      # screen coordinates
+    clickable: bool
+    text: str
+    package: str
+    depth: int
+
+    @property
+    def resource_entry(self) -> str:
+        """The entry part after ``:id/`` (empty when id-less)."""
+        if ":id/" not in self.resource_id:
+            return ""
+        return self.resource_id.split(":id/", 1)[1]
+
+
+def _dump_view(view: View, window: Window, depth: int,
+               out: List[NodeInfo]) -> None:
+    if view.visibility is not Visibility.VISIBLE:
+        return
+    out.append(
+        NodeInfo(
+            resource_id=str(view.resource_id) if view.resource_id else "",
+            bounds=window.screen_bounds_of(view),
+            clickable=view.clickable,
+            text=view.text or "",
+            package=window.package,
+            depth=depth,
+        )
+    )
+    for child in view.children:
+        _dump_view(child, window, depth + 1, out)
+
+
+def dump_view_hierarchy(wm: WindowManager,
+                        package: Optional[str] = None) -> List[NodeInfo]:
+    """Export the visible hierarchy of application windows.
+
+    ``package`` restricts the dump to one app; overlays (which belong
+    to the accessibility app, not the inspected app) are excluded, as
+    ``uiautomator`` excludes other processes' overlay surfaces.
+    """
+    nodes: List[NodeInfo] = []
+    for window in wm.windows:
+        if window.kind.value != "application":
+            continue
+        if package is not None and window.package != package:
+            continue
+        _dump_view(window.root, window, 0, nodes)
+    return nodes

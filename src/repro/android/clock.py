@@ -1,0 +1,64 @@
+"""A millisecond-resolution simulated clock.
+
+Everything time-dependent in the substrate — event timestamps, the
+debounce cut-off ``ct``, app timelines, performance accounting — reads
+this clock.  Simulations advance it explicitly, which keeps every run
+deterministic and lets tests fast-forward through "one minute with
+Monkey" instantly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+
+class SimulatedClock:
+    """Monotonic simulated time in milliseconds, with scheduled callbacks."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now = float(start_ms)
+        # Min-heap-by-scan is fine: schedules per run are small.
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+
+    @property
+    def now_ms(self) -> float:
+        return self._now
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` once, ``delay_ms`` from now; returns a handle."""
+        if delay_ms < 0:
+            raise ValueError("cannot schedule in the past")
+        self._timer_seq += 1
+        handle = self._timer_seq
+        self._timers.append((self._now + delay_ms, handle, callback))
+        return handle
+
+    def cancel(self, handle: int) -> bool:
+        """Cancel a scheduled callback; returns True when it was pending."""
+        for i, (_, h, _) in enumerate(self._timers):
+            if h == handle:
+                del self._timers[i]
+                return True
+        return False
+
+    def advance(self, delta_ms: float) -> None:
+        """Move time forward, firing due callbacks in timestamp order."""
+        if delta_ms < 0:
+            raise ValueError("time cannot go backwards")
+        target = self._now + delta_ms
+        while True:
+            due = [(t, h, cb) for (t, h, cb) in self._timers if t <= target]
+            if not due:
+                break
+            due.sort(key=lambda item: (item[0], item[1]))
+            t, h, cb = due[0]
+            self._timers = [item for item in self._timers if item[1] != h]
+            # Callbacks observe the time they fire at, and may schedule
+            # further timers (which this loop will also honour if due).
+            self._now = max(self._now, t)
+            cb()
+        self._now = target
+
+    def pending_timers(self) -> int:
+        return len(self._timers)

@@ -1,0 +1,85 @@
+"""Accessibility events.
+
+Android defines accessibility event types as single-bit masks; DARPA
+registers for *all 23 of them* (paper Section V, "Event registration")
+and is notified whenever any UI change occurs.  The bit values below are
+the real SDK constants — e.g. ``TYPE_WINDOWS_CHANGED`` is
+``0x00400000``, the code the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+
+class AccessibilityEventType(IntEnum):
+    """All 23 accessibility event bit-masks (2^0 .. 2^22)."""
+
+    TYPE_VIEW_CLICKED = 0x00000001
+    TYPE_VIEW_LONG_CLICKED = 0x00000002
+    TYPE_VIEW_SELECTED = 0x00000004
+    TYPE_VIEW_FOCUSED = 0x00000008
+    TYPE_VIEW_TEXT_CHANGED = 0x00000010
+    TYPE_WINDOW_STATE_CHANGED = 0x00000020
+    TYPE_NOTIFICATION_STATE_CHANGED = 0x00000040
+    TYPE_VIEW_HOVER_ENTER = 0x00000080
+    TYPE_VIEW_HOVER_EXIT = 0x00000100
+    TYPE_TOUCH_EXPLORATION_GESTURE_START = 0x00000200
+    TYPE_TOUCH_EXPLORATION_GESTURE_END = 0x00000400
+    TYPE_WINDOW_CONTENT_CHANGED = 0x00000800
+    TYPE_VIEW_SCROLLED = 0x00001000
+    TYPE_VIEW_TEXT_SELECTION_CHANGED = 0x00002000
+    TYPE_ANNOUNCEMENT = 0x00004000
+    TYPE_VIEW_ACCESSIBILITY_FOCUSED = 0x00008000
+    TYPE_VIEW_ACCESSIBILITY_FOCUS_CLEARED = 0x00010000
+    TYPE_VIEW_TEXT_TRAVERSED_AT_MOVEMENT_GRANULARITY = 0x00020000
+    TYPE_GESTURE_DETECTION_START = 0x00040000
+    TYPE_GESTURE_DETECTION_END = 0x00080000
+    TYPE_TOUCH_INTERACTION_START = 0x00100000
+    TYPE_TOUCH_INTERACTION_END = 0x00200000
+    TYPE_WINDOWS_CHANGED = 0x00400000
+
+
+#: Mask covering every event type (what DARPA registers for).
+TYPES_ALL_MASK = sum(t.value for t in AccessibilityEventType)
+
+#: Event types that indicate the visible UI may have changed and a
+#: settled screen could follow — the debouncer treats these as
+#: "UI update" signals.  Pointer bookkeeping events do not repaint.
+UI_UPDATE_TYPES = frozenset(
+    {
+        AccessibilityEventType.TYPE_WINDOW_STATE_CHANGED,
+        AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED,
+        AccessibilityEventType.TYPE_WINDOWS_CHANGED,
+        AccessibilityEventType.TYPE_VIEW_SCROLLED,
+        AccessibilityEventType.TYPE_VIEW_CLICKED,
+        AccessibilityEventType.TYPE_VIEW_FOCUSED,
+        AccessibilityEventType.TYPE_VIEW_TEXT_CHANGED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class AccessibilityEvent:
+    """One event delivered to subscribed accessibility services.
+
+    Deliberately generic, as the paper observes: the payload identifies
+    *that* something changed and in which package, never whether the new
+    UI is an AUI — which is why DARPA cannot filter by type alone and
+    needs the cut-off-time debounce.
+    """
+
+    event_type: AccessibilityEventType
+    package: str
+    timestamp_ms: float
+    window_id: Optional[int] = None
+
+    @property
+    def code(self) -> int:
+        """The numeric event code, e.g. 0x00400000 for WINDOWS_CHANGED."""
+        return int(self.event_type)
+
+    def is_ui_update(self) -> bool:
+        return self.event_type in UI_UPDATE_TYPES

@@ -1,0 +1,127 @@
+"""Rasterizing window stacks into screenshots.
+
+``AccessibilityService.take_screenshot`` ultimately calls
+:func:`render_screen`, which composites the window stack bottom-to-top
+onto a :class:`~repro.imaging.canvas.Canvas`, then draws the system bars
+when the foreground app is not full-screen.  Ground-truth images for the
+dataset generator come through the same code path, so the detector never
+sees a rendering style it wasn't trained on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.rect import Offset, Rect
+from repro.imaging.canvas import Canvas
+from repro.imaging.color import Color, PALETTE
+from repro.imaging.text import draw_pseudo_text, pseudo_text_width
+from repro.android.view import Shape, View, Visibility
+from repro.android.window import Screen, Window, WindowManager, WindowType
+
+_STATUS_BAR_COLOR = Color.from_hex("#1a1a1a")
+_NAV_BAR_COLOR = Color.from_hex("#101010")
+_WALLPAPER = Color.from_hex("#202028")
+
+
+def _draw_view(canvas: Canvas, view: View, offset: Offset) -> None:
+    """Draw one view (not its children) at its screen position."""
+    rect = view.bounds.offset_by(offset)
+    if view.bg_color is not None:
+        if view.shape is Shape.CIRCLE:
+            cx, cy = rect.center
+            canvas.fill_circle(cx, cy, min(rect.w, rect.h) / 2.0,
+                               view.bg_color, alpha=view.bg_alpha)
+        elif view.shape is Shape.ROUNDED:
+            canvas.fill_rounded_rect(rect, view.bg_color, view.corner_radius,
+                                     alpha=view.bg_alpha)
+        else:
+            canvas.fill_rect(rect, view.bg_color, alpha=view.bg_alpha)
+    if view.border_color is not None and view.border_width > 0:
+        canvas.stroke_rect(rect, view.border_color,
+                           thickness=view.border_width, alpha=view.bg_alpha)
+    if view.icon is not None and view.icon_color is not None:
+        cx, cy = rect.center
+        size = min(rect.w, rect.h) * 0.6
+        if view.icon == "cross":
+            canvas.draw_cross(cx, cy, size, view.icon_color,
+                              thickness=max(1, int(size / 8)),
+                              alpha=view.icon_alpha)
+        elif view.icon == "circle":
+            canvas.fill_circle(cx, cy, size / 2.0, view.icon_color,
+                               alpha=view.icon_alpha)
+        elif view.icon == "bar":
+            canvas.fill_rect(Rect.from_center(cx, cy, size, size / 4.0),
+                             view.icon_color, alpha=view.icon_alpha)
+    if view.text and view.text_color is not None:
+        size = view.text_size
+        text_w = pseudo_text_width(view.text, size)
+        # Auto-fit: shrink oversize text so the ink stays inside the
+        # view, as Android's ellipsizing keeps labels inside buttons.
+        if text_w > rect.w * 0.96 and text_w > 0:
+            size = max(3.0, size * rect.w * 0.96 / text_w)
+            text_w = pseudo_text_width(view.text, size)
+        tx = rect.center[0] - text_w / 2.0
+        ty = rect.center[1] - size / 2.0
+        draw_pseudo_text(canvas, view.text, tx, ty, size,
+                         view.text_color, alpha=view.text_alpha)
+
+
+def render_view_tree(canvas: Canvas, root: View, offset: Offset) -> None:
+    """Pre-order draw of a view subtree (parents under children)."""
+    if root.visibility is not Visibility.VISIBLE:
+        return
+    _draw_view(canvas, root, offset)
+    for child in root.children:
+        render_view_tree(canvas, child, offset)
+
+
+def render_window(window: Window, screen: Screen) -> Canvas:
+    """Rasterize a single window against a blank screen."""
+    canvas = Canvas(screen.width, screen.height, background=_WALLPAPER)
+    render_view_tree(canvas, window.root, window.offset)
+    return canvas
+
+
+def render_screen(
+    wm: WindowManager,
+    noise_rng: Optional[np.random.Generator] = None,
+    noise_scale: float = 0.008,
+) -> Canvas:
+    """Composite the full window stack into a screenshot.
+
+    System bars are drawn above app windows whenever the foreground app
+    is not full-screen; accessibility overlays are always topmost (their
+    stack position already guarantees that).
+    """
+    screen = wm.screen
+    canvas = Canvas(screen.width, screen.height, background=_WALLPAPER)
+    for window in wm.windows:
+        render_view_tree(canvas, window.root, window.offset)
+    top = wm.top_app_window()
+    fullscreen = top.fullscreen if top is not None else False
+    if not fullscreen:
+        canvas.fill_rect(
+            Rect(0, 0, screen.width, screen.status_bar_height),
+            _STATUS_BAR_COLOR,
+        )
+        # Status bar furniture: clock and signal blocks.
+        canvas.fill_rect(Rect(8, 8, 30, 8), PALETTE["light_gray"])
+        canvas.fill_rect(Rect(screen.width - 40, 8, 32, 8), PALETTE["light_gray"])
+        canvas.fill_rect(
+            Rect(0, screen.height - screen.nav_bar_height,
+                 screen.width, screen.nav_bar_height),
+            _NAV_BAR_COLOR,
+        )
+        # Navigation pills.
+        y = screen.height - screen.nav_bar_height / 2.0
+        for frac in (0.25, 0.5, 0.75):
+            canvas.fill_circle(screen.width * frac, y, 6, PALETTE["gray"])
+        # Re-draw overlays so decorations are never hidden by the bars.
+        for window in wm.overlays():
+            render_view_tree(canvas, window.root, window.offset)
+    if noise_rng is not None:
+        canvas.add_noise(noise_rng, scale=noise_scale)
+    return canvas

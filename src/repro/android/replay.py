@@ -1,0 +1,147 @@
+"""Session recording and deterministic replay.
+
+The paper's overhead methodology (Section VI-D) runs each app manually
+while *recording* the interaction, then *replays* the identical session
+with DARPA attached (SoloPi records, Airtest replays) so the
+with/without measurements compare the same workload.  This module is
+that record/replay loop for the simulated substrate: a
+:class:`SessionRecorder` captures every accessibility event and tap of
+a live run into a :class:`SessionTrace`, and :func:`replay_trace`
+re-emits the trace onto a fresh device with millisecond-identical
+timing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.android.device import Device
+from repro.android.events import AccessibilityEvent, AccessibilityEventType
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded occurrence: an accessibility event or an input tap."""
+
+    at_ms: float
+    kind: str                     # "event" | "tap"
+    event_type: Optional[int] = None
+    package: str = ""
+    x: float = 0.0
+    y: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "at_ms": self.at_ms, "kind": self.kind,
+            "event_type": self.event_type, "package": self.package,
+            "x": self.x, "y": self.y,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TraceEntry":
+        return cls(**data)
+
+
+@dataclass
+class SessionTrace:
+    """An ordered recording of one session."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        times = [e.at_ms for e in self.entries]
+        if times != sorted(times):
+            raise ValueError("trace entries must be time-ordered")
+
+    @property
+    def duration_ms(self) -> float:
+        return self.entries[-1].at_ms if self.entries else 0.0
+
+    def events(self) -> List[TraceEntry]:
+        return [e for e in self.entries if e.kind == "event"]
+
+    def taps(self) -> List[TraceEntry]:
+        return [e for e in self.entries if e.kind == "tap"]
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        payload = {"version": 1,
+                   "entries": [e.to_json() for e in self.entries]}
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Path) -> "SessionTrace":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported trace version: {payload.get('version')}")
+        return cls(entries=[TraceEntry.from_json(e)
+                            for e in payload["entries"]])
+
+
+class SessionRecorder:
+    """Attaches to a device and records its event/tap stream."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self._entries: List[TraceEntry] = []
+        self._recording = False
+
+    def start(self) -> None:
+        if self._recording:
+            return
+        from repro.android.events import TYPES_ALL_MASK
+        self.device.register_event_listener(TYPES_ALL_MASK, self._on_event)
+        self._recording = True
+
+    def _on_event(self, event: AccessibilityEvent) -> None:
+        self._entries.append(TraceEntry(
+            at_ms=event.timestamp_ms, kind="event",
+            event_type=int(event.event_type), package=event.package,
+        ))
+
+    def record_tap(self, x: float, y: float) -> None:
+        """Taps are injected by test drivers, not announced on the bus;
+        drivers call this alongside ``dispatch_click``."""
+        self._entries.append(TraceEntry(
+            at_ms=self.device.clock.now_ms, kind="tap", x=x, y=y,
+        ))
+
+    def trace(self) -> SessionTrace:
+        return SessionTrace(entries=sorted(self._entries,
+                                           key=lambda e: e.at_ms))
+
+
+def replay_trace(
+    trace: SessionTrace,
+    device: Device,
+    include_taps: bool = True,
+) -> Tuple[int, int]:
+    """Schedule the trace onto ``device`` with identical timing.
+
+    Returns ``(n_events, n_taps)`` scheduled.  Advance the device clock
+    past ``trace.duration_ms`` to run the replay.
+    """
+    n_events = n_taps = 0
+    now = device.clock.now_ms
+    for entry in trace.entries:
+        delay = entry.at_ms - now
+        if delay < 0:
+            raise ValueError("trace starts before the device's current time")
+        if entry.kind == "event":
+            n_events += 1
+            device.clock.schedule(
+                delay,
+                lambda e=entry: device.emit_event(
+                    AccessibilityEventType(e.event_type), e.package),
+            )
+        elif entry.kind == "tap" and include_taps:
+            n_taps += 1
+            device.clock.schedule(
+                delay,
+                lambda e=entry: device.window_manager.dispatch_click(e.x, e.y),
+            )
+    return n_events, n_taps

@@ -1,0 +1,15 @@
+"""Non-CV baselines the paper compares DARPA against."""
+
+from repro.baselines.frauddroid import (
+    FraudDroidConfig,
+    FraudDroidDetector,
+    UPO_ID_LEXICON,
+    AGO_ID_LEXICON,
+)
+
+__all__ = [
+    "FraudDroidConfig",
+    "FraudDroidDetector",
+    "UPO_ID_LEXICON",
+    "AGO_ID_LEXICON",
+]

@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark under ``benchmarks/`` regenerates one table or figure of
+the paper.  The expensive artifacts they share — the rendered corpus
+splits and the trained detector — are built once and cached on disk
+(:mod:`repro.bench.cache`), so the full suite runs end-to-end without
+retraining per table.  :mod:`repro.bench.tables` renders aligned text
+tables next to the paper's published values;
+:mod:`repro.bench.experiments` holds the experiment drivers the
+benchmarks and examples call.
+"""
+
+from repro.bench.cache import BenchCache, default_cache
+from repro.bench.tables import format_table, print_table
+from repro.bench.experiments import (
+    build_runtime_fleet,
+    evaluate_detector,
+    get_corpus_and_splits,
+    get_test_dataset,
+    get_trained_model,
+    run_darpa_over_fleet,
+)
+
+__all__ = [
+    "BenchCache",
+    "default_cache",
+    "format_table",
+    "print_table",
+    "build_runtime_fleet",
+    "evaluate_detector",
+    "get_corpus_and_splits",
+    "get_test_dataset",
+    "get_trained_model",
+    "run_darpa_over_fleet",
+]

@@ -1,0 +1,75 @@
+"""Disk caching for expensive benchmark artifacts.
+
+Trained detector states are cached as ``.npz`` files keyed by a
+configuration fingerprint, so the first benchmark invocation trains
+once and every later table reuses the model.  The cache lives in
+``.bench_cache/`` at the repository root (or ``$REPRO_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+class BenchCache:
+    """A tiny content-addressed ``.npz`` store."""
+
+    def __init__(self, root: Optional[Path] = None):
+        if root is None:
+            env = os.environ.get("REPRO_CACHE_DIR")
+            root = Path(env) if env else Path(__file__).resolve().parents[3] / ".bench_cache"
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def fingerprint(config: Dict) -> str:
+        blob = json.dumps(config, sort_keys=True, default=str).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def _path(self, name: str, config: Dict) -> Path:
+        return self.root / f"{name}-{self.fingerprint(config)}.npz"
+
+    def has(self, name: str, config: Dict) -> bool:
+        return self._path(name, config).exists()
+
+    def load(self, name: str, config: Dict) -> Dict[str, np.ndarray]:
+        path = self._path(name, config)
+        with np.load(path, allow_pickle=False) as data:
+            return {k: data[k] for k in data.files}
+
+    def store(self, name: str, config: Dict,
+              arrays: Dict[str, np.ndarray]) -> Path:
+        path = self._path(name, config)
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(tmp, **arrays)
+        tmp.replace(path)
+        return path
+
+    def get_or_build(
+        self,
+        name: str,
+        config: Dict,
+        builder: Callable[[], Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Load the cached artifact or build + persist it."""
+        if self.has(name, config):
+            return self.load(name, config)
+        arrays = builder()
+        self.store(name, config, arrays)
+        return arrays
+
+
+_default: Optional[BenchCache] = None
+
+
+def default_cache() -> BenchCache:
+    global _default
+    if _default is None:
+        _default = BenchCache()
+    return _default

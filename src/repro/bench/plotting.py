@@ -1,0 +1,78 @@
+"""ASCII line charts for figure-style benchmark output.
+
+Figure 8 is a figure, not a table; the benchmark that regenerates it
+prints its two trendlines (events evaluated, AUIs identified vs ct) as
+a monospace chart so the shape is visible directly in the log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[object],
+    height: int = 12,
+    width_per_point: int = 10,
+    title: str = "",
+) -> str:
+    """Render one or more aligned series as an ASCII chart.
+
+    Each series is scaled to its own [min, max] so trends remain
+    readable when magnitudes differ (the chart is about *shape*); the
+    right margin legend shows each series' marker and value range.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n:
+            raise ValueError(f"series {name!r} has {len(values)} points, "
+                             f"x axis has {n}")
+    if height < 3:
+        raise ValueError("height must be at least 3")
+
+    markers = "*o+x#@"
+    grid = [[" " for _ in range(n * width_per_point)] for _ in range(height)]
+
+    def row_of(value: float, lo: float, hi: float) -> int:
+        if hi <= lo:
+            return height // 2
+        frac = (value - lo) / (hi - lo)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    legend: List[str] = []
+    for si, (name, values) in enumerate(series.items()):
+        lo, hi = min(values), max(values)
+        marker = markers[si % len(markers)]
+        legend.append(f"  {marker} {name} [{lo:g} .. {hi:g}]")
+        last: Tuple[int, int] = (-1, -1)
+        for i, value in enumerate(values):
+            col = i * width_per_point + width_per_point // 2
+            row = row_of(value, lo, hi)
+            grid[row][col] = marker
+            # Connect consecutive points with a sparse line.
+            if last != (-1, -1):
+                lr, lc = last
+                steps = max(abs(col - lc), 1)
+                for s in range(1, steps):
+                    cc = lc + (col - lc) * s // steps
+                    rr = lr + (row - lr) * s // steps
+                    if grid[rr][cc] == " ":
+                        grid[rr][cc] = "."
+            last = (row, col)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    axis = "+" + "-" * (n * width_per_point)
+    lines.append(axis)
+    label_line = " "
+    for x in x_labels:
+        label_line += str(x).center(width_per_point)
+    lines.append(label_line)
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows the paper's tables report, alongside the
+published values, so a reader can eyeball the reproduction directly in
+the benchmark log.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace-aligned table with a separator under the header."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: Optional[str] = None) -> None:
+    text = "\n" + format_table(headers, rows, title=title) + "\n"
+    # Flush inside the capture-disabled window: stdout is block-buffered
+    # against pipes, and a late flush would land in the captured fd.
+    print(text, flush=True)
+    # Benchmarks are usually run under pytest, whose default output
+    # capture would swallow the regenerated tables; mirror them to the
+    # real stdout so ``pytest benchmarks/ --benchmark-only | tee ...``
+    # logs every table without requiring -s.
+    if sys.stdout is not sys.__stdout__:
+        try:
+            sys.__stdout__.write(text + "\n")
+            sys.__stdout__.flush()
+        except (OSError, ValueError, AttributeError):
+            pass
+
+
+def echo(text: str) -> None:
+    """Print a line, mirrored past pytest capture (see print_table)."""
+    print(text, flush=True)
+    if sys.stdout is not sys.__stdout__:
+        try:
+            sys.__stdout__.write(text + "\n")
+            sys.__stdout__.flush()
+        except (OSError, ValueError, AttributeError):
+            pass
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

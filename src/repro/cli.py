@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``dataset``   — corpus statistics (Tables I/II, layout patterns)
+- ``train``     — train a detector, report test metrics, save weights
+- ``evaluate``  — evaluate a saved detector on the test split
+- ``simulate``  — run DARPA over a simulated app fleet (Table VI style)
+- ``survey``    — user-study findings (Section III-B)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datagen import build_corpus, split_corpus
+    from repro.datagen.splits import split_summary
+
+    corpus = build_corpus(seed=args.seed)
+    print(f"D_app: {len(corpus.apps)} apps; D_aui: {len(corpus.samples)} "
+          f"AUI screenshots; negatives: {len(corpus.negatives)}")
+    print("\nTable I — AUI types:")
+    for aui_type, count in sorted(corpus.type_distribution().items(),
+                                  key=lambda kv: -kv[1]):
+        print(f"  {aui_type.value:<32} {count:>5} "
+              f"({count / len(corpus.samples):.1%})")
+    ago, upo = corpus.box_totals()
+    print(f"\nBoxes: AGO={ago} UPO={upo}")
+    stats = corpus.layout_statistics()
+    print(f"Layout: central AGO {stats['ago_central']:.1%}, "
+          f"corner UPO {stats['upo_corner']:.1%}, "
+          f"first-party {stats['first_party']:.1%}")
+    print("\nTable II — splits:")
+    for name, row in split_summary(split_corpus(corpus, seed=args.seed)).items():
+        print(f"  {name:<6} shots={row[0]:>4} AGO={row[1]:>4} UPO={row[2]:>4}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.datagen import build_corpus, split_corpus
+    from repro.vision import (TinyYolo, YoloConfig, YoloTrainer,
+                              build_detection_dataset)
+
+    corpus = build_corpus(seed=args.seed)
+    splits = split_corpus(corpus, seed=args.seed)
+    train_samples = splits["train"][:args.limit] if args.limit else splits["train"]
+    print(f"Rendering {len(train_samples)} training screens...")
+    train = build_detection_dataset(train_samples)
+    model = TinyYolo(YoloConfig(), seed=args.seed)
+    trainer = YoloTrainer(model, lr=args.lr, batch_size=args.batch_size,
+                          seed=args.seed)
+    t0 = time.time()
+    for epoch in range(args.epochs):
+        loss = trainer.train_epoch(train)
+        if (epoch + 1) % max(1, args.epochs // 10) == 0:
+            print(f"  epoch {epoch + 1}/{args.epochs} loss={loss:.4f} "
+                  f"({time.time() - t0:.0f}s)")
+    np.savez(args.output, **model.state_dict())
+    print(f"Saved model state to {args.output}")
+    if not args.no_eval:
+        return _evaluate_model(model, splits, args.threshold)
+    return 0
+
+
+def _load_model(path: str):
+    from repro.vision import TinyYolo, YoloConfig
+    model = TinyYolo(YoloConfig(), seed=0)
+    model.load_state_dict(dict(np.load(path)))
+    return model
+
+
+def _evaluate_model(model, splits, threshold: float) -> int:
+    from repro.vision import DetectionEvaluator, build_detection_dataset
+
+    print("Rendering the test split...")
+    test = build_detection_dataset(splits["test"], keep_screen_images=True)
+    evaluator = DetectionEvaluator(iou_threshold=0.9)
+    for i in range(len(test)):
+        dets = model.detect_screen(test.screen_images[i],
+                                   conf_threshold=threshold)
+        evaluator.add_image(dets, test.screen_labels[i])
+    result = evaluator.result()
+    print(f"{'class':<6} {'P':>7} {'R':>7} {'F1':>7}")
+    for name in ("AGO", "UPO", "All"):
+        p, r, f = result.row(name)
+        print(f"{name:<6} {p:>7.3f} {r:>7.3f} {f:>7.3f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.datagen import build_corpus, split_corpus
+
+    model = _load_model(args.model)
+    if args.port:
+        from repro.vision import PortConfig, port_model
+        model = port_model(model, PortConfig(quantization=args.port))
+        print(f"Evaluating the {args.port}-ported model...")
+    corpus = build_corpus(seed=args.seed)
+    splits = split_corpus(corpus, seed=args.seed)
+    return _evaluate_model(model, splits, args.threshold)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.bench import build_runtime_fleet, run_darpa_over_fleet
+    from repro.vision.metrics import ScreenConfusion
+
+    detector = "oracle" if args.model is None else _load_model(args.model)
+    if args.model is None:
+        print("No --model given; using the ground-truth oracle detector.")
+    sessions = build_runtime_fleet(n_apps=args.apps, seed=args.seed)
+    print(f"Replaying {args.apps} one-minute sessions at ct={args.ct}ms...")
+    results = run_darpa_over_fleet(sessions, detector, ct_ms=args.ct,
+                                   mode="full")
+    confusion = ScreenConfusion()
+    for res in results:
+        for labeled, flagged in res.screen_verdicts:
+            confusion.add_screen(labeled, flagged)
+    cpu = float(np.mean([r.perf.cpu_pct for r in results]))
+    fps = float(np.mean([r.perf.fps for r in results]))
+    mw = float(np.mean([r.perf.power_mw for r in results]))
+    print(f"screens analyzed: {sum(r.screens_analyzed for r in results)}")
+    print(f"AUI screens: caught {confusion.tp}, missed {confusion.fn}; "
+          f"false flags {confusion.fp} of {confusion.fp + confusion.tn} "
+          f"non-AUI screens")
+    print(f"avg perf: {cpu:.1f}% CPU, {fps:.0f} fps, {mw:.0f} mW")
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    del args
+    from examples.user_study_report import main as report
+    report()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DARPA (DSN 2023) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("dataset", help="corpus statistics")
+
+    p_train = sub.add_parser("train", help="train a detector")
+    p_train.add_argument("--epochs", type=int, default=80)
+    p_train.add_argument("--lr", type=float, default=2e-3)
+    p_train.add_argument("--batch-size", type=int, default=16)
+    p_train.add_argument("--limit", type=int, default=0,
+                         help="cap training samples (0 = all)")
+    p_train.add_argument("--threshold", type=float, default=0.4)
+    p_train.add_argument("--output", default="darpa_model.npz")
+    p_train.add_argument("--no-eval", action="store_true")
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a saved model")
+    p_eval.add_argument("model")
+    p_eval.add_argument("--threshold", type=float, default=0.4)
+    p_eval.add_argument("--port", choices=("none", "fp16", "int8"),
+                        default=None, help="evaluate a ported variant")
+
+    p_sim = sub.add_parser("simulate", help="run DARPA over a fleet")
+    p_sim.add_argument("--apps", type=int, default=20)
+    p_sim.add_argument("--ct", type=float, default=200.0)
+    p_sim.add_argument("--model", default=None,
+                       help="saved model (.npz); omit for the oracle")
+
+    sub.add_parser("survey", help="user-study findings")
+    return parser
+
+
+_COMMANDS = {
+    "dataset": _cmd_dataset,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "simulate": _cmd_simulate,
+    "survey": _cmd_survey,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

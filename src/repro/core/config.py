@@ -1,0 +1,62 @@
+"""DARPA runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.imaging.color import Color, PALETTE
+
+
+@dataclass(frozen=True)
+class DecorationStyle:
+    """Visual style of decoration overlays.
+
+    Defaults follow the paper: high-contrast strokes, green for the
+    user-preferred option, red for the app-guided one, with a margin so
+    the stroke rings the option instead of covering it.  Users may
+    customize shape and color (Section IV-D).
+    """
+
+    upo_color: Color = field(default_factory=lambda: PALETTE["green"])
+    ago_color: Color = field(default_factory=lambda: PALETTE["red"])
+    stroke_width: int = 3
+    margin: float = 4.0
+    decorate_ago: bool = True
+
+
+@dataclass(frozen=True)
+class DarpaConfig:
+    """End-to-end pipeline settings."""
+
+    #: Cut-off time: a screen must stay quiet this long to be analyzed.
+    #: 200 ms is the paper's optimum (Section VI-E) — and, it notes,
+    #: roughly human reaction time.
+    ct_ms: float = 200.0
+    #: Detector confidence threshold at decode time.
+    conf_threshold: float = 0.45
+    #: Higher confidence bar for the screen-level "this is an AUI"
+    #: verdict (decorations still draw every detection above
+    #: ``conf_threshold``; only the flag/bypass decision uses this).
+    flag_threshold: float = 0.85
+    #: Run classical box refinement on detections.
+    refine_boxes: bool = True
+    #: Draw decoration overlays (off = detect-and-log only, used by the
+    #: overhead decomposition of Table VII).
+    decorate: bool = True
+    #: Auto-click the UPO instead of (only) decorating it.
+    auto_bypass: bool = False
+    #: Only analyze packages outside this allowlist (empty = analyze
+    #: everything).  Mirrors the paper's "selectively running DARPA on
+    #: less-trusted apps" overhead reduction.
+    trusted_packages: tuple = ()
+    #: Simulation accelerator: skip rasterizing screenshots (detectors
+    #: that never read pixels, e.g. ground-truth oracles in the ct
+    #: sweeps).  All perf accounting is unaffected.
+    stub_screenshots: bool = False
+    style: DecorationStyle = field(default_factory=DecorationStyle)
+
+    def __post_init__(self) -> None:
+        if self.ct_ms < 0:
+            raise ValueError("ct must be non-negative")
+        if not 0.0 < self.conf_threshold < 1.0:
+            raise ValueError("confidence threshold must be in (0, 1)")

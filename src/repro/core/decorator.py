@@ -1,0 +1,114 @@
+"""Run-time view decoration with coordinate calibration (Section IV-D).
+
+The detector reports option boxes in *screen* coordinates; overlay
+views added through ``WindowManager.addView`` are positioned in the
+overlay window's coordinate space, which shares the foreground app's
+insets.  Using screen coordinates directly therefore misplaces the
+decoration by the status-bar height whenever the app is not full-screen
+(paper Figure 4a).  DARPA measures that offset with an invisible anchor
+view at window ``(0, 0)`` and subtracts it — the paper's Figure 6 code,
+reproduced here as :meth:`ViewDecorator.decorate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry.nms import ScoredBox
+from repro.geometry.rect import Offset, Rect
+from repro.android.accessibility import AccessibilityService
+from repro.android.device import PerfOp
+from repro.android.view import View
+from repro.android.window import LayoutParams
+from repro.core.config import DecorationStyle
+
+
+@dataclass
+class AppliedDecoration:
+    """Bookkeeping for one mounted decoration overlay."""
+
+    view: View
+    detection: ScoredBox
+
+
+class ViewDecorator:
+    """Mounts, tracks and removes decoration overlays."""
+
+    def __init__(self, service: AccessibilityService,
+                 style: Optional[DecorationStyle] = None,
+                 calibrate: bool = True):
+        self.service = service
+        self.style = style or DecorationStyle()
+        #: The Fig-4 toggle: disabling calibration reproduces the
+        #: misplaced-decoration failure mode for tests/demos.
+        self.calibrate = calibrate
+        self._applied: List[AppliedDecoration] = []
+
+    # -- calibration (the anchor-view trick) -----------------------------
+
+    def measure_offset(self) -> Offset:
+        if not self.calibrate:
+            return Offset(0, 0)
+        return self.service.measure_window_offset()
+
+    # -- decoration -----------------------------------------------------------
+
+    def decorate(self, detections: Sequence[ScoredBox]) -> List[AppliedDecoration]:
+        """Highlight each detection with a high-contrast stroke overlay.
+
+        Mirrors the paper's ``decorate(aui, offset_x, offset_y)``: the
+        overlay's layout position is the detection's screen position
+        minus the measured window offset.
+        """
+        offset = self.measure_offset()
+        applied: List[AppliedDecoration] = []
+        for det in detections:
+            if det.label == "AGO" and not self.style.decorate_ago:
+                continue
+            color = (self.style.upo_color if det.label == "UPO"
+                     else self.style.ago_color)
+            box = det.rect.inflated(self.style.margin)
+            params = LayoutParams(
+                x=box.x - offset.x,
+                y=box.y - offset.y,
+                width=box.w,
+                height=box.h,
+            )
+            view = View(
+                bounds=Rect(params.x, params.y, params.width, params.height),
+                border_color=color,
+                border_width=self.style.stroke_width,
+            )
+            self.service.add_overlay(view, params)
+            self.service.device.perf.record(PerfOp.DECORATION)
+            applied.append(AppliedDecoration(view=view, detection=det))
+        self._applied.extend(applied)
+        return applied
+
+    def remove_all(self) -> int:
+        """Unmount every decoration (done before each new screenshot)."""
+        count = 0
+        for deco in self._applied:
+            if self.service.remove_overlay(deco.view):
+                count += 1
+        self._applied = []
+        return count
+
+    @property
+    def active(self) -> List[AppliedDecoration]:
+        return list(self._applied)
+
+    # -- auto-bypass -----------------------------------------------------------
+
+    def bypass(self, detections: Sequence[ScoredBox]) -> Optional[View]:
+        """Auto-click the most confident UPO (the alternative option of
+        Section IV-D); returns the clicked view, if any."""
+        upos = sorted((d for d in detections if d.label == "UPO"),
+                      key=lambda d: d.score, reverse=True)
+        for det in upos:
+            cx, cy = det.rect.center
+            hit = self.service.dispatch_click(cx, cy)
+            if hit is not None:
+                return hit
+        return None

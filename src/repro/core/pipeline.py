@@ -1,0 +1,159 @@
+"""``DarpaService`` — the assembled runtime (paper Figure 5).
+
+Life-cycle per settled screen:
+
+    events -> ct debounce -> remove old decorations -> take screenshot
+    -> CV detection -> rinse screenshot -> calibrate -> decorate
+    (or auto-bypass the UPO)
+
+The service is detector-agnostic: anything exposing
+``detect_screen(image, refine=..., conf_threshold=...) -> [ScoredBox]``
+plugs in, which is how the benchmarks swap the server model, the ported
+model, and test fakes through one pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.nms import ScoredBox
+from repro.android.accessibility import AccessibilityService
+from repro.android.device import Device, PerfOp
+from repro.android.events import AccessibilityEvent, TYPES_ALL_MASK
+from repro.core.config import DarpaConfig
+from repro.core.debounce import CutoffDebouncer
+from repro.core.decorator import ViewDecorator
+from repro.core.security import ScreenshotPolicy
+
+
+class Detector(Protocol):
+    """Anything that can find AUI options on a screenshot."""
+
+    def detect_screen(self, screen_image: np.ndarray, refine: bool = True,
+                      conf_threshold: Optional[float] = None
+                      ) -> List[ScoredBox]: ...
+
+
+@dataclass
+class AnalysisRecord:
+    """One settled-screen analysis."""
+
+    timestamp_ms: float
+    package: str
+    detections: List[ScoredBox]
+    flag_threshold: float = 0.5
+
+    @property
+    def flagged_aui(self) -> bool:
+        """Screen-level verdict: a confident UPO was found.
+
+        The paper counts "screenshots that have UPOs"; requiring the
+        flagging detection to clear a higher confidence bar than the
+        box-reporting threshold suppresses benign-close false flags
+        while true AUI UPOs (which the model is very sure about) pass.
+        """
+        return any(d.label == "UPO" and d.score >= self.flag_threshold
+                   for d in self.detections)
+
+
+@dataclass
+class DarpaStats:
+    """Counters the evaluation section reads off a run."""
+
+    events_seen: int = 0
+    screens_analyzed: int = 0
+    auis_flagged: int = 0
+    decorations_drawn: int = 0
+    bypass_clicks: int = 0
+    records: List[AnalysisRecord] = field(default_factory=list)
+
+
+class DarpaService:
+    """The deployable unit: one device, one detector, one config."""
+
+    def __init__(
+        self,
+        device: Device,
+        detector: Detector,
+        config: Optional[DarpaConfig] = None,
+        policy: Optional[ScreenshotPolicy] = None,
+    ):
+        self.device = device
+        self.detector = detector
+        self.config = config or DarpaConfig()
+        self.policy = policy or ScreenshotPolicy()
+        self.service = AccessibilityService(device, event_mask=TYPES_ALL_MASK)
+        self.decorator = ViewDecorator(self.service, style=self.config.style)
+        self.debouncer = CutoffDebouncer(
+            device.clock, self.config.ct_ms, self._on_settled
+        )
+        self.stats = DarpaStats()
+        self._running = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Consent check, event registration, component residency."""
+        self.policy.check_startup()
+        self.service.on_event = self._on_event
+        self.service.connect()
+        perf = self.device.perf
+        perf.enable_component("monitoring")
+        perf.enable_component("detection")
+        perf.enable_component("decoration")
+        self._running = True
+
+    def stop(self) -> None:
+        self.debouncer.cancel_pending()
+        self.decorator.remove_all()
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- event flow -----------------------------------------------------------
+
+    def _on_event(self, event: AccessibilityEvent) -> None:
+        if not self._running:
+            return
+        self.stats.events_seen += 1
+        self.debouncer.feed(event)
+
+    def _on_settled(self, event: AccessibilityEvent) -> None:
+        if event.package == self.service.package:
+            return  # our own overlays; never analyze ourselves
+        if event.package in self.config.trusted_packages:
+            return
+        # Remove previous decorations BEFORE the screenshot, so the
+        # model never sees (and re-detects) our own overlays.
+        self.decorator.remove_all()
+        with self.policy.analyzed_screenshot(
+                self.service, stub=self.config.stub_screenshots) as shot:
+            detections = self.detector.detect_screen(
+                shot.pixels,
+                refine=self.config.refine_boxes,
+                conf_threshold=self.config.conf_threshold,
+            )
+        self.device.perf.record(PerfOp.INFERENCE)
+        record = AnalysisRecord(
+            timestamp_ms=self.device.clock.now_ms,
+            package=event.package,
+            detections=detections,
+            flag_threshold=self.config.flag_threshold,
+        )
+        self.stats.records.append(record)
+        self.stats.screens_analyzed += 1
+        if record.flagged_aui:
+            self.stats.auis_flagged += 1
+        if detections and self.config.decorate:
+            if self.config.auto_bypass:
+                clicked = self.decorator.bypass(detections)
+                if clicked is not None:
+                    self.stats.bypass_clicks += 1
+                    return
+            applied = self.decorator.decorate(detections)
+            self.stats.decorations_drawn += len(applied)

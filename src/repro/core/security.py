@@ -1,0 +1,114 @@
+"""Security and privacy design of DARPA (paper Sections II-C and IV-E).
+
+DARPA sees every pixel the user sees, so the paper hardens it three
+ways, each modeled (and therefore testable) here:
+
+- a **minimal manifest**: no Internet, no external storage, no
+  self-update — the app cannot exfiltrate what it captures;
+- a **screenshot policy**: captures live only in app-internal storage
+  and are rinsed immediately after the CV model runs (the
+  ``analyzed_screenshot`` context manager guarantees the rinse even on
+  detector exceptions);
+- **consent gating**: the service refuses to start before the user has
+  accepted the privacy policy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator
+
+from repro.android.accessibility import AccessibilityService, Screenshot
+
+
+class ConsentError(RuntimeError):
+    """Raised when the pipeline runs without user consent."""
+
+
+class ManifestViolation(RuntimeError):
+    """Raised when a capability outside the manifest is requested."""
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The permission set an app ships with."""
+
+    permissions: FrozenSet[str]
+
+    def require(self, permission: str) -> None:
+        if permission not in self.permissions:
+            raise ManifestViolation(
+                f"{permission} is not declared; DARPA's manifest is minimal by design"
+            )
+
+    def declares_internet(self) -> bool:
+        return "android.permission.INTERNET" in self.permissions
+
+
+#: DARPA's actual manifest: accessibility binding plus overlay drawing.
+#: Deliberately absent: INTERNET, WRITE_EXTERNAL_STORAGE,
+#: REQUEST_INSTALL_PACKAGES (no self-update path).
+DARPA_MANIFEST = Manifest(
+    permissions=frozenset(
+        {
+            "android.permission.BIND_ACCESSIBILITY_SERVICE",
+            "android.permission.SYSTEM_ALERT_WINDOW",
+        }
+    )
+)
+
+PRIVACY_POLICY = (
+    "DARPA captures screenshots of the foreground app solely to detect "
+    "asymmetric dark UI patterns on this device. Screenshots are stored "
+    "only in app-internal memory and destroyed immediately after each "
+    "analysis. Nothing is transmitted: the app declares no network "
+    "permission. You may revoke accessibility access at any time."
+)
+
+
+@dataclass
+class ScreenshotPolicy:
+    """Enforces consent and the capture-analyze-rinse lifecycle."""
+
+    manifest: Manifest = field(default_factory=lambda: DARPA_MANIFEST)
+    consent_given: bool = False
+    captures: int = 0
+    rinses: int = 0
+
+    def give_consent(self) -> str:
+        """Record user consent; returns the policy text shown to them."""
+        self.consent_given = True
+        return PRIVACY_POLICY
+
+    def check_startup(self) -> None:
+        if not self.consent_given:
+            raise ConsentError("user consent required before first run")
+        if self.manifest.declares_internet():
+            raise ManifestViolation(
+                "DARPA must not declare INTERNET: screenshots could leak"
+            )
+
+    @contextmanager
+    def analyzed_screenshot(
+        self, service: AccessibilityService, stub: bool = False
+    ) -> Iterator[Screenshot]:
+        """Capture, yield for analysis, and ALWAYS rinse.
+
+        The rinse runs even when the detector raises, so no code path
+        leaves pixel data alive after analysis.
+        """
+        if not self.consent_given:
+            raise ConsentError("screenshot capture without consent")
+        shot = service.take_screenshot(stub=stub)
+        self.captures += 1
+        try:
+            yield shot
+        finally:
+            shot.rinse()
+            self.rinses += 1
+
+    @property
+    def outstanding(self) -> int:
+        """Screenshots captured but not yet rinsed (must trend to 0)."""
+        return self.captures - self.rinses

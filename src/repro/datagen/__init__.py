@@ -1,0 +1,56 @@
+"""Synthetic AUI corpus generation.
+
+The paper's measurement study (Section III-A) rests on two datasets:
+
+- ``D_app`` — 632 popular apps crawled from the Mi Store leaderboard;
+- ``D_aui`` — 1,072 manually-verified AUI screenshots gathered by
+  Monkey-driving those apps plus crawling huaban.com.
+
+Neither is available offline, so this package *generates* statistically
+equivalent ones: seven parameterized AUI templates matching Table I's
+type taxonomy, non-AUI screens (including the benign small-close-button
+dialogs the paper identifies as its FP source), quota-driven sampling
+that reproduces Table I / Table II and the Section III-A layout
+statistics exactly, COCO-format annotation export, and the text-masking
+transform of Figure 7.
+"""
+
+from repro.datagen.specs import (
+    AuiType,
+    SampleSpec,
+    TABLE1_QUOTAS,
+    TABLE2_SPLITS,
+    make_sample_specs,
+)
+from repro.datagen.background import build_background_content
+from repro.datagen.templates import build_aui_screen, build_non_aui_screen
+from repro.datagen.corpus import (
+    AppProfile,
+    AuiSample,
+    Corpus,
+    build_app_dataset,
+    build_corpus,
+)
+from repro.datagen.splits import SplitName, split_corpus
+from repro.datagen.annotations import to_coco
+from repro.datagen.masking import mask_option_texts
+
+__all__ = [
+    "AuiType",
+    "SampleSpec",
+    "TABLE1_QUOTAS",
+    "TABLE2_SPLITS",
+    "make_sample_specs",
+    "build_background_content",
+    "build_aui_screen",
+    "build_non_aui_screen",
+    "AppProfile",
+    "AuiSample",
+    "Corpus",
+    "build_app_dataset",
+    "build_corpus",
+    "SplitName",
+    "split_corpus",
+    "to_coco",
+    "mask_option_texts",
+]

@@ -1,0 +1,67 @@
+"""COCO-format annotation export.
+
+The paper labels AGO/UPO bounding boxes "following the format of COCO
+dataset".  ``to_coco`` serializes a list of samples into that schema
+(``images`` / ``annotations`` / ``categories``), usable directly by any
+COCO-consuming tooling and by our own loaders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.datagen.corpus import AuiSample
+from repro.datagen.templates import FULLSCREEN_H, WINDOW_W
+
+CATEGORY_IDS: Dict[str, int] = {"AGO": 1, "UPO": 2}
+
+
+def to_coco(samples: Sequence[AuiSample]) -> dict:
+    """Export samples as a COCO detection dictionary.
+
+    Boxes are reported in *screen* coordinates (what a deployed model
+    sees), i.e. window boxes shifted by the status-bar offset for
+    non-full-screen samples.
+    """
+    images: List[dict] = []
+    annotations: List[dict] = []
+    ann_id = 1
+    for image_id, sample in enumerate(samples, start=1):
+        spec = sample.spec
+        images.append(
+            {
+                "id": image_id,
+                "file_name": f"aui_{spec.index:04d}.png",
+                "width": WINDOW_W,
+                "height": FULLSCREEN_H,
+                "aui_type": spec.aui_type.value,
+                "source": sample.source,
+                "app_package": sample.app.package,
+            }
+        )
+        offset_y = 0.0 if spec.fullscreen else 24.0
+        for role, rect in sample.screen.label_boxes:
+            shifted = rect.translated(0.0, offset_y)
+            annotations.append(
+                {
+                    "id": ann_id,
+                    "image_id": image_id,
+                    "category_id": CATEGORY_IDS[role],
+                    "bbox": list(shifted.as_coco()),
+                    "area": shifted.area,
+                    "iscrowd": 0,
+                }
+            )
+            ann_id += 1
+    return {
+        "info": {
+            "description": "Synthetic AUI dataset (DARPA reproduction)",
+            "version": "1.0",
+        },
+        "images": images,
+        "annotations": annotations,
+        "categories": [
+            {"id": cid, "name": name, "supercategory": "aui_option"}
+            for name, cid in CATEGORY_IDS.items()
+        ],
+    }

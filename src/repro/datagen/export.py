@@ -1,0 +1,80 @@
+"""Dataset release tooling.
+
+The paper releases its AUI dataset publicly; this module is the
+equivalent packager for the synthetic corpus: it writes rendered
+screenshots (binary PPM — stdlib-only, viewable everywhere) alongside a
+COCO ``annotations.json`` and a manifest, producing a directory layout
+any detection toolchain can consume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.annotations import to_coco
+from repro.datagen.corpus import AuiSample, render_state
+from repro.datagen.masking import mask_option_texts
+
+
+def write_ppm(path: Path, image: np.ndarray) -> None:
+    """Serialize an (H, W, 3) float image as binary PPM (P6)."""
+    data = (np.clip(image, 0.0, 1.0) * 255).astype(np.uint8)
+    h, w = data.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode())
+        fh.write(data.tobytes())
+
+
+def read_ppm(path: Path) -> np.ndarray:
+    """Load a binary PPM back into a float (H, W, 3) array."""
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        if magic != b"P6":
+            raise ValueError(f"{path} is not a binary PPM (got {magic!r})")
+        w, h = map(int, fh.readline().split())
+        maxval = int(fh.readline())
+        raw = np.frombuffer(fh.read(w * h * 3), dtype=np.uint8)
+    return raw.reshape(h, w, 3).astype(np.float32) / maxval
+
+
+def export_dataset(
+    samples: Sequence[AuiSample],
+    out_dir: Path,
+    masked: bool = False,
+    noise_seed: int = 1000,
+    limit: Optional[int] = None,
+) -> Dict[str, int]:
+    """Write a release directory: images/ + annotations.json + manifest.
+
+    Returns counters (images written, annotations written).  Boxes in
+    the COCO file are in screen coordinates, matching the renders.
+    """
+    out_dir = Path(out_dir)
+    images_dir = out_dir / "images"
+    images_dir.mkdir(parents=True, exist_ok=True)
+    chosen = list(samples[:limit] if limit else samples)
+    for i, sample in enumerate(chosen):
+        image, labels = render_state(sample.screen, noise_seed=noise_seed + i)
+        if masked:
+            image = mask_option_texts(image, labels)
+        write_ppm(images_dir / f"aui_{sample.spec.index:04d}.ppm", image)
+    coco = to_coco(chosen)
+    # The exporter writes .ppm files; keep file_name consistent.
+    for entry in coco["images"]:
+        entry["file_name"] = entry["file_name"].replace(".png", ".ppm")
+    with open(out_dir / "annotations.json", "w") as fh:
+        json.dump(coco, fh, indent=1)
+    manifest = {
+        "images": len(chosen),
+        "annotations": len(coco["annotations"]),
+        "masked": masked,
+        "format": "PPM (P6) + COCO detection JSON",
+        "classes": {c["id"]: c["name"] for c in coco["categories"]},
+    }
+    with open(out_dir / "manifest.json", "w") as fh:
+        json.dump(manifest, fh, indent=1)
+    return {"images": len(chosen), "annotations": len(coco["annotations"])}

@@ -1,0 +1,38 @@
+"""Text masking (paper Figure 7 / Table IV).
+
+To show that DARPA keys on visual appearance rather than language, the
+paper re-trains on AUIs whose AGO/UPO texts are blurred out.
+``mask_option_texts`` applies that transform to a rendered screenshot:
+each option box's interior is heavily blurred, destroying glyph
+structure while preserving shape, size, placement and color.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.imaging.filters import blur_region
+
+
+def mask_option_texts(
+    image: np.ndarray,
+    labels: Sequence[Tuple[str, Rect]],
+    sigma: float = 3.5,
+    shrink: float = 0.12,
+) -> np.ndarray:
+    """Blur the text-bearing interior of every labeled option box.
+
+    ``shrink`` insets the blur region slightly so box *edges* (the
+    geometry signal) survive while interior strokes (the text) do not —
+    mirroring the paper's Figure 7 where button outlines remain visible.
+    """
+    if not 0.0 <= shrink < 0.5:
+        raise ValueError("shrink must be in [0, 0.5)")
+    out = image
+    for _, rect in labels:
+        inset = min(rect.w, rect.h) * shrink
+        out = blur_region(out, rect.inflated(-inset), sigma=sigma)
+    return out

@@ -1,0 +1,170 @@
+"""Sample specifications and the paper's published quotas.
+
+The generator is *quota-driven*: instead of sampling type/layout flags
+independently (which would only match the paper's statistics in
+expectation), it deals out exact per-sample flags so the regenerated
+Table I, Table II and Section III-A layout statistics are identical to
+the paper's on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class AuiType(Enum):
+    """The seven AUI subjects of Table I."""
+
+    ADVERTISEMENT = "Advertisement"
+    SALES_PROMOTION = "Sales promotion"
+    LUCKY_MONEY = "Lucky money (Red packet)"
+    APP_UPGRADE = "App upgrade"
+    OPERATION_GUIDE = "Operation guide"
+    FEEDBACK_REQUEST = "Feedback request"
+    PERMISSION_REQUEST = "Sensitive permission request"
+
+
+#: Table I — instances per AUI type (total 1,072).
+TABLE1_QUOTAS: Dict[AuiType, int] = {
+    AuiType.ADVERTISEMENT: 696,
+    AuiType.SALES_PROMOTION: 179,
+    AuiType.LUCKY_MONEY: 131,
+    AuiType.APP_UPGRADE: 43,
+    AuiType.OPERATION_GUIDE: 16,
+    AuiType.FEEDBACK_REQUEST: 4,
+    AuiType.PERMISSION_REQUEST: 3,
+}
+
+TOTAL_AUI_SAMPLES = sum(TABLE1_QUOTAS.values())  # 1,072
+
+#: Table II — (screenshots, AGO boxes, UPO boxes) per split.
+TABLE2_SPLITS: Dict[str, Tuple[int, int, int]] = {
+    "train": (642, 453, 657),
+    "val": (215, 150, 223),
+    "test": (215, 141, 222),
+}
+
+#: Section III-A layout statistics.
+FRACTION_AGO_CENTRAL = 0.946
+FRACTION_UPO_CORNER = 0.731
+
+#: Hosts of AUI (Section III-A): 35.1% first-party, rest third-party ads.
+FRACTION_FIRST_PARTY = 376 / 1072
+
+#: Total annotated boxes across the corpus.  AGO matches Table II's
+#: bottom row (744).  For UPO, Table II's split rows sum to
+#: 657 + 223 + 222 = 1,102 while its printed total says 1,103 — the
+#: paper's table is off by one; we honour the split rows.
+TOTAL_AGO_BOXES = 744
+TOTAL_UPO_BOXES = 1102
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """Everything a template needs to build one AUI screen.
+
+    ``has_ago`` is False for screens whose entire surface acts as the
+    app-guided option (no distinct AGO widget is annotated) — the reason
+    Table II counts only 744 AGO boxes over 1,072 screenshots.
+    ``n_upo`` can be 0 (no escape offered at all) or 2 (two competing
+    dismissal affordances), matching the paper's observation that
+    screenshots "may have more than one UPO".
+    """
+
+    index: int
+    aui_type: AuiType
+    has_ago: bool
+    n_upo: int
+    ago_central: bool
+    upo_corner: bool
+    fullscreen: bool
+    first_party: bool
+    hard_upo: bool  # translucent / extra-small UPO (the paper's FN source)
+    style_seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_upo not in (0, 1, 2):
+            raise ValueError(f"n_upo must be 0..2, got {self.n_upo}")
+        if not self.has_ago and self.n_upo == 0:
+            raise ValueError("a sample must annotate at least one option")
+
+
+def _deal_flags(total: int, n_true: int, rng: np.random.Generator) -> List[bool]:
+    """Exactly ``n_true`` Trues among ``total`` flags, shuffled."""
+    flags = [True] * n_true + [False] * (total - n_true)
+    rng.shuffle(flags)
+    return flags
+
+
+def make_sample_specs(seed: int = 0) -> List[SampleSpec]:
+    """Deal the 1,072 sample specs matching every published statistic.
+
+    Deterministic for a given seed.  Box totals: 744 samples carry an
+    AGO; UPO counts are dealt so they sum to exactly 1,103 with a small
+    number of no-UPO and two-UPO screens.
+    """
+    rng = np.random.default_rng(seed)
+    total = TOTAL_AUI_SAMPLES
+
+    types: List[AuiType] = []
+    for aui_type, quota in TABLE1_QUOTAS.items():
+        types.extend([aui_type] * quota)
+    rng.shuffle(types)  # type: ignore[arg-type]
+
+    has_ago = _deal_flags(total, TOTAL_AGO_BOXES, rng)
+
+    # UPO counts: choose k2 two-UPO and k0 zero-UPO screens such that
+    # (total - k0 - k2) + 2*k2 = TOTAL_UPO_BOXES  =>  k2 - k0 = 30.
+    k0, k2 = 40, 70
+    upo_counts = [2] * k2 + [0] * k0 + [1] * (total - k0 - k2)
+    rng.shuffle(upo_counts)
+    # Zero-UPO screens must still have an AGO to be annotatable; repair
+    # collisions by swapping with a one-UPO screen that has an AGO.
+    for i in range(total):
+        if upo_counts[i] == 0 and not has_ago[i]:
+            for j in range(total):
+                if upo_counts[j] == 1 and has_ago[j]:
+                    upo_counts[i], upo_counts[j] = 1, 0
+                    break
+
+    n_ago = sum(has_ago)
+    ago_central_pool = _deal_flags(n_ago, round(FRACTION_AGO_CENTRAL * n_ago), rng)
+    n_with_upo = sum(1 for c in upo_counts if c > 0)
+    upo_corner_pool = _deal_flags(n_with_upo, round(FRACTION_UPO_CORNER * n_with_upo), rng)
+
+    fullscreen = _deal_flags(total, round(0.42 * total), rng)
+    first_party = _deal_flags(total, round(FRACTION_FIRST_PARTY * total), rng)
+    # ~12% of UPOs are visually hard (translucent/extra small); these
+    # drive the recall ceiling the paper reports.
+    hard = _deal_flags(total, round(0.12 * total), rng)
+
+    specs: List[SampleSpec] = []
+    ago_i = upo_i = 0
+    for i in range(total):
+        ago_flag = has_ago[i]
+        central = ago_central_pool[ago_i] if ago_flag else False
+        if ago_flag:
+            ago_i += 1
+        corner = False
+        if upo_counts[i] > 0:
+            corner = upo_corner_pool[upo_i]
+            upo_i += 1
+        specs.append(
+            SampleSpec(
+                index=i,
+                aui_type=types[i],
+                has_ago=ago_flag,
+                n_upo=upo_counts[i],
+                ago_central=central,
+                upo_corner=corner,
+                fullscreen=fullscreen[i],
+                first_party=first_party[i],
+                hard_upo=hard[i] and upo_counts[i] > 0,
+                style_seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return specs

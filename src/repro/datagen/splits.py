@@ -1,0 +1,196 @@
+"""Train/validation/test splitting matched to Table II.
+
+The paper splits ``D_aui`` 6:2:2 into 642/215/215 screenshots carrying
+(453, 657), (150, 223) and (141, 222) AGO/UPO boxes respectively.  A
+random 6:2:2 split would only match those box counts in expectation;
+``split_corpus`` instead performs a greedy assignment followed by a
+swap-repair pass so that every published count is matched exactly —
+making the regenerated Table II bit-identical run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.corpus import AuiSample, Corpus
+from repro.datagen.specs import TABLE2_SPLITS
+
+SplitName = str  # "train" | "val" | "test"
+
+_SPLIT_ORDER: Tuple[SplitName, ...] = ("train", "val", "test")
+
+
+class SplitInfeasibleError(RuntimeError):
+    """Raised when repair cannot satisfy the target box counts."""
+
+
+@dataclass
+class _Need:
+    shots: int
+    ago: int
+    upo: int
+
+
+def _targets() -> Dict[SplitName, _Need]:
+    return {
+        name: _Need(shots, ago, upo)
+        for name, (shots, ago, upo) in TABLE2_SPLITS.items()
+    }
+
+
+def _greedy_assign(
+    samples: Sequence[AuiSample], rng: np.random.Generator
+) -> Dict[SplitName, List[int]]:
+    """First pass: fill screenshot quotas, roughly tracking box quotas."""
+    need = _targets()
+    order = list(range(len(samples)))
+    rng.shuffle(order)
+    assignment: Dict[SplitName, List[int]] = {s: [] for s in _SPLIT_ORDER}
+    for idx in order:
+        spec = samples[idx].spec
+        best, best_score = None, None
+        for name in _SPLIT_ORDER:
+            n = need[name]
+            if n.shots <= 0:
+                continue
+            # Score: how well this sample's boxes relieve remaining need.
+            ago_fit = min(n.ago, int(spec.has_ago))
+            upo_fit = min(n.upo, spec.n_upo)
+            score = (ago_fit + upo_fit, n.shots)
+            if best_score is None or score > best_score:
+                best, best_score = name, score
+        assert best is not None, "screenshot quotas must cover all samples"
+        assignment[best].append(idx)
+        need[best].shots -= 1
+        need[best].ago -= int(spec.has_ago)
+        need[best].upo -= spec.n_upo
+    return assignment
+
+
+def _counts(samples: Sequence[AuiSample], idxs: Sequence[int]) -> Tuple[int, int]:
+    ago = sum(1 for i in idxs if samples[i].spec.has_ago)
+    upo = sum(samples[i].spec.n_upo for i in idxs)
+    return ago, upo
+
+
+def _swap_repair(
+    samples: Sequence[AuiSample],
+    assignment: Dict[SplitName, List[int]],
+    max_rounds: int = 10_000,
+) -> None:
+    """Swap samples between splits until box counts hit their targets.
+
+    Each swap exchanges one sample from a surplus split with one from a
+    deficit split, keeping screenshot counts fixed.  AGO counts are
+    repaired with swaps that preserve per-sample UPO counts, and vice
+    versa, so fixing one dimension never breaks the other.
+    """
+    targets = _targets()
+
+    def deviation(name: SplitName) -> Tuple[int, int]:
+        ago, upo = _counts(samples, assignment[name])
+        return ago - targets[name].ago, upo - targets[name].upo
+
+    for _ in range(max_rounds):
+        devs = {name: deviation(name) for name in _SPLIT_ORDER}
+        if all(d == (0, 0) for d in devs.values()):
+            return
+        # Repair AGO first: find a split with surplus and one in deficit.
+        ago_over = [n for n in _SPLIT_ORDER if devs[n][0] > 0]
+        ago_under = [n for n in _SPLIT_ORDER if devs[n][0] < 0]
+        if ago_over and ago_under:
+            src, dst = ago_over[0], ago_under[0]
+            if _swap_matching(samples, assignment, src, dst,
+                              want_ago=True, keep="upo"):
+                continue
+        upo_over = [n for n in _SPLIT_ORDER if devs[n][1] > 0]
+        upo_under = [n for n in _SPLIT_ORDER if devs[n][1] < 0]
+        if upo_over and upo_under:
+            src, dst = upo_over[0], upo_under[0]
+            if _swap_by_upo(samples, assignment, src, dst):
+                continue
+        raise SplitInfeasibleError(
+            f"no repairing swap available; deviations: {devs}"
+        )
+    raise SplitInfeasibleError("swap repair did not converge")
+
+
+def _swap_matching(samples, assignment, src, dst, want_ago: bool,
+                   keep: str) -> bool:
+    """Swap an AGO-bearing sample in ``src`` with a same-UPO-count
+    AGO-free sample in ``dst`` (moves one AGO from src to dst... i.e.
+    reduces src surplus)."""
+    for i in assignment[src]:
+        si = samples[i].spec
+        if si.has_ago != want_ago:
+            continue
+        for j in assignment[dst]:
+            sj = samples[j].spec
+            if sj.has_ago == want_ago:
+                continue
+            if keep == "upo" and si.n_upo != sj.n_upo:
+                continue
+            _do_swap(assignment, src, dst, i, j)
+            return True
+    return False
+
+
+def _swap_by_upo(samples, assignment, src, dst) -> bool:
+    """Swap to move one UPO from ``src`` to ``dst`` without touching
+    AGO counts: partners share ``has_ago`` and differ by 1 in UPO."""
+    for i in assignment[src]:
+        si = samples[i].spec
+        for j in assignment[dst]:
+            sj = samples[j].spec
+            if si.has_ago != sj.has_ago:
+                continue
+            if si.n_upo - sj.n_upo == 1:
+                _do_swap(assignment, src, dst, i, j)
+                return True
+    return False
+
+
+def _do_swap(assignment, src, dst, i, j) -> None:
+    assignment[src].remove(i)
+    assignment[dst].remove(j)
+    assignment[src].append(j)
+    assignment[dst].append(i)
+
+
+def split_corpus(
+    corpus: Corpus, seed: int = 0
+) -> Dict[SplitName, List[AuiSample]]:
+    """Split ``corpus.samples`` to the exact Table II counts.
+
+    Raises :class:`SplitInfeasibleError` when the corpus' box totals
+    cannot satisfy the published split rows (never happens for corpora
+    built by :func:`repro.datagen.corpus.build_corpus`).
+    """
+    total_needed = sum(n for n, _, _ in TABLE2_SPLITS.values())
+    if len(corpus.samples) != total_needed:
+        raise SplitInfeasibleError(
+            f"corpus has {len(corpus.samples)} samples, Table II needs {total_needed}"
+        )
+    rng = np.random.default_rng(seed + 7)
+    assignment = _greedy_assign(corpus.samples, rng)
+    _swap_repair(corpus.samples, assignment)
+    out: Dict[SplitName, List[AuiSample]] = {}
+    for name in _SPLIT_ORDER:
+        idxs = sorted(assignment[name])
+        out[name] = [corpus.samples[i] for i in idxs]
+    return out
+
+
+def split_summary(
+    splits: Dict[SplitName, List[AuiSample]]
+) -> Dict[SplitName, Tuple[int, int, int]]:
+    """(screenshots, AGO boxes, UPO boxes) per split — Table II rows."""
+    out = {}
+    for name, samples in splits.items():
+        ago = sum(1 for s in samples if s.spec.has_ago)
+        upo = sum(s.spec.n_upo for s in samples)
+        out[name] = (len(samples), ago, upo)
+    return out

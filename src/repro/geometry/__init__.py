@@ -1,0 +1,37 @@
+"""Geometry kernel shared by every subsystem.
+
+The whole reproduction uses one coordinate convention: the origin is the
+top-left corner of the screen, ``x`` grows rightwards, ``y`` grows
+downwards, and all quantities are logical pixels.  A rectangle is stored
+as ``(x, y, w, h)``.
+
+Public API
+----------
+``Rect``
+    Immutable axis-aligned rectangle with the usual set algebra.
+``iou``, ``pairwise_iou``
+    Intersection-over-Union between rectangles (the paper's detection
+    metric uses IoU at a 0.9 threshold).
+``non_max_suppression``
+    Greedy NMS over scored boxes, as used by one-stage detectors.
+``GridSpec``
+    Mapping between image space and a detector's grid cells.
+``Offset``
+    Screen-to-window coordinate offsets (status-bar calibration).
+"""
+
+from repro.geometry.rect import Rect, Offset
+from repro.geometry.iou import iou, pairwise_iou, match_boxes
+from repro.geometry.nms import ScoredBox, non_max_suppression
+from repro.geometry.grid import GridSpec
+
+__all__ = [
+    "Rect",
+    "Offset",
+    "iou",
+    "pairwise_iou",
+    "match_boxes",
+    "ScoredBox",
+    "non_max_suppression",
+    "GridSpec",
+]

@@ -1,0 +1,84 @@
+"""Detector grid geometry.
+
+One-stage detectors (our TinyYOLO, mirroring the paper's YOLOv5) divide
+the input image into an ``S x S`` grid; each cell predicts objectness,
+class scores, and a box parameterized relative to the cell.  ``GridSpec``
+owns the mapping both ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Grid layout of a one-stage detector head.
+
+    ``image_w``/``image_h`` are the detector input dimensions;
+    ``cells_x``/``cells_y`` the grid resolution.  Box regression uses the
+    YOLO parameterization: the box center is expressed as a fractional
+    offset within its cell, width/height as fractions of the whole image.
+    """
+
+    image_w: int
+    image_h: int
+    cells_x: int
+    cells_y: int
+
+    def __post_init__(self) -> None:
+        if self.cells_x <= 0 or self.cells_y <= 0:
+            raise ValueError("grid must have at least one cell per axis")
+        if self.image_w <= 0 or self.image_h <= 0:
+            raise ValueError("image dimensions must be positive")
+
+    @property
+    def cell_w(self) -> float:
+        return self.image_w / self.cells_x
+
+    @property
+    def cell_h(self) -> float:
+        return self.image_h / self.cells_y
+
+    def cell_of(self, cx: float, cy: float) -> Tuple[int, int]:
+        """The (col, row) of the cell containing image point ``(cx, cy)``.
+
+        Points on the far right/bottom edge belong to the last cell.
+        """
+        col = min(int(cx / self.cell_w), self.cells_x - 1)
+        row = min(int(cy / self.cell_h), self.cells_y - 1)
+        return max(0, col), max(0, row)
+
+    def encode(self, rect: Rect) -> Tuple[int, int, np.ndarray]:
+        """Encode a box as (col, row, [tx, ty, tw, th]) training targets.
+
+        ``tx``/``ty`` are the center's fractional position within its
+        cell in [0, 1); ``tw``/``th`` are sqrt-scaled fractions of the
+        image size (the sqrt tames the loss gradient on large boxes, as
+        in YOLOv1..v5).
+        """
+        cx, cy = rect.center
+        col, row = self.cell_of(cx, cy)
+        tx = cx / self.cell_w - col
+        ty = cy / self.cell_h - row
+        tw = np.sqrt(min(1.0, rect.w / self.image_w))
+        th = np.sqrt(min(1.0, rect.h / self.image_h))
+        return col, row, np.array([tx, ty, tw, th], dtype=np.float64)
+
+    def decode(self, col: int, row: int, t: np.ndarray) -> Rect:
+        """Inverse of :meth:`encode`."""
+        tx, ty, tw, th = (float(v) for v in t)
+        cx = (col + tx) * self.cell_w
+        cy = (row + ty) * self.cell_h
+        w = max(0.0, tw) ** 2 * self.image_w
+        h = max(0.0, th) ** 2 * self.image_h
+        return Rect.from_center(cx, cy, w, h)
+
+    def scale_to(self, rect: Rect, target_w: int, target_h: int) -> Rect:
+        """Map a rect from detector-input space back to screen space."""
+        return rect.scaled(target_w / self.image_w, target_h / self.image_h)

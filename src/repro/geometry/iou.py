@@ -1,0 +1,79 @@
+"""Intersection-over-Union and box matching.
+
+The paper evaluates detection with IoU at a strict 0.9 threshold
+(Section VI-B): a prediction is a true positive only when it overlaps a
+ground-truth box of the same class with IoU > 0.9.  ``match_boxes``
+implements the standard greedy one-to-one matching used to turn box sets
+into TP/FP/FN counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+
+def iou(a: Rect, b: Rect) -> float:
+    """IoU of two rectangles: ``I / (A + B - I)``; 0.0 when both empty."""
+    inter = a.intersection(b).area
+    union = a.area + b.area - inter
+    if union <= 0:
+        return 0.0
+    return inter / union
+
+
+def pairwise_iou(preds: Sequence[Rect], truths: Sequence[Rect]) -> np.ndarray:
+    """Vectorized IoU matrix of shape ``(len(preds), len(truths))``."""
+    if not preds or not truths:
+        return np.zeros((len(preds), len(truths)))
+    p = np.array([r.as_xyxy() for r in preds], dtype=float)
+    t = np.array([r.as_xyxy() for r in truths], dtype=float)
+    # Broadcast corners: p is (P, 1, 4), t is (1, T, 4).
+    px0, py0, px1, py1 = (p[:, None, i] for i in range(4))
+    tx0, ty0, tx1, ty1 = (t[None, :, i] for i in range(4))
+    iw = np.clip(np.minimum(px1, tx1) - np.maximum(px0, tx0), 0.0, None)
+    ih = np.clip(np.minimum(py1, ty1) - np.maximum(py0, ty0), 0.0, None)
+    inter = iw * ih
+    area_p = (px1 - px0) * (py1 - py0)
+    area_t = (tx1 - tx0) * (ty1 - ty0)
+    union = area_p + area_t - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(union > 0, inter / union, 0.0)
+    return out
+
+
+def match_boxes(
+    preds: Sequence[Rect],
+    truths: Sequence[Rect],
+    threshold: float,
+) -> Tuple[List[Tuple[int, int]], List[int], List[int]]:
+    """Greedy one-to-one matching of predictions to ground truths.
+
+    Predictions are assumed pre-sorted by descending confidence.  Each
+    prediction claims its highest-IoU unmatched truth if that IoU exceeds
+    ``threshold``.
+
+    Returns ``(matches, unmatched_pred_idx, unmatched_truth_idx)`` where
+    ``matches`` is a list of ``(pred_idx, truth_idx)`` pairs.
+    """
+    matrix = pairwise_iou(preds, truths)
+    matches: List[Tuple[int, int]] = []
+    used_truths: set = set()
+    for pi in range(len(preds)):
+        best_ti = -1
+        best_iou = threshold
+        for ti in range(len(truths)):
+            if ti in used_truths:
+                continue
+            if matrix[pi, ti] > best_iou:
+                best_iou = matrix[pi, ti]
+                best_ti = ti
+        if best_ti >= 0:
+            matches.append((pi, best_ti))
+            used_truths.add(best_ti)
+    unmatched_preds = [pi for pi in range(len(preds)) if pi not in {m[0] for m in matches}]
+    unmatched_truths = [ti for ti in range(len(truths)) if ti not in used_truths]
+    return matches, unmatched_preds, unmatched_truths

@@ -1,0 +1,48 @@
+"""Greedy non-maximum suppression over scored, classed boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.geometry.iou import iou
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class ScoredBox:
+    """A detector output: a box with a class label and a confidence."""
+
+    rect: Rect
+    label: str
+    score: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be within [0, 1], got {self.score}")
+
+
+def non_max_suppression(
+    boxes: Sequence[ScoredBox],
+    iou_threshold: float = 0.45,
+    class_agnostic: bool = False,
+) -> List[ScoredBox]:
+    """Keep locally-maximal boxes, dropping overlapping lower-scored ones.
+
+    Standard greedy NMS: boxes are visited in descending score order; a
+    box is kept unless it overlaps an already-kept box (of the same class
+    unless ``class_agnostic``) with IoU above ``iou_threshold``.
+    """
+    ordered = sorted(boxes, key=lambda b: b.score, reverse=True)
+    kept: List[ScoredBox] = []
+    for candidate in ordered:
+        suppressed = False
+        for winner in kept:
+            if not class_agnostic and winner.label != candidate.label:
+                continue
+            if iou(winner.rect, candidate.rect) > iou_threshold:
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(candidate)
+    return kept

@@ -1,0 +1,201 @@
+"""Axis-aligned rectangles and coordinate offsets.
+
+``Rect`` is the unit of currency across the reproduction: view bounds in
+the simulated Android substrate, ground-truth annotations in the dataset
+generator, predicted boxes in the detectors, and decoration views in the
+DARPA core are all ``Rect`` instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Offset:
+    """A screen-to-window translation, in pixels.
+
+    DARPA's decoration calibration (paper Section IV-D) measures the
+    offset of the app window relative to the physical screen by placing
+    an invisible anchor view at window coordinate ``(0, 0)`` and reading
+    its on-screen location.  That measurement is exactly an ``Offset``.
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+
+    def __add__(self, other: "Offset") -> "Offset":
+        return Offset(self.x + other.x, self.y + other.y)
+
+    def __neg__(self) -> "Offset":
+        return Offset(-self.x, -self.y)
+
+    def is_zero(self) -> bool:
+        return self.x == 0 and self.y == 0
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An immutable axis-aligned rectangle ``(x, y, w, h)``.
+
+    ``x``/``y`` locate the top-left corner; ``w``/``h`` must be
+    non-negative.  Degenerate (zero-area) rectangles are permitted — they
+    behave as empty for intersection purposes.
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"Rect dimensions must be non-negative, got {self}")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_corners(cls, x0: float, y0: float, x1: float, y1: float) -> "Rect":
+        """Build from two corners; the corners may be given in any order."""
+        left, right = min(x0, x1), max(x0, x1)
+        top, bottom = min(y0, y1), max(y0, y1)
+        return cls(left, top, right - left, bottom - top)
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, w: float, h: float) -> "Rect":
+        return cls(cx - w / 2.0, cy - h / 2.0, w, h)
+
+    # -- derived coordinates ------------------------------------------
+
+    @property
+    def left(self) -> float:
+        return self.x
+
+    @property
+    def top(self) -> float:
+        return self.y
+
+    @property
+    def right(self) -> float:
+        return self.x + self.w
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.h
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    def is_empty(self) -> bool:
+        return self.w == 0 or self.h == 0
+
+    # -- predicates ----------------------------------------------------
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """True when ``(px, py)`` falls inside (or on the edge of) the rect.
+
+        The right/bottom edges are inclusive so that a 1x1 button at
+        integer coordinates is clickable at its own coordinate.
+        """
+        return self.left <= px <= self.right and self.top <= py <= self.bottom
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.left <= other.left
+            and self.top <= other.top
+            and self.right >= other.right
+            and self.bottom >= other.bottom
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return not self.intersection(other).is_empty()
+
+    # -- set algebra ----------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """The overlapping region, or a zero-area rect when disjoint."""
+        left = max(self.left, other.left)
+        top = max(self.top, other.top)
+        right = min(self.right, other.right)
+        bottom = min(self.bottom, other.bottom)
+        if right <= left or bottom <= top:
+            return Rect(left if right > left else self.x, top if bottom > top else self.y, 0.0, 0.0)
+        return Rect(left, top, right - left, bottom - top)
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """The tightest rect containing both operands."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Rect.from_corners(
+            min(self.left, other.left),
+            min(self.top, other.top),
+            max(self.right, other.right),
+            max(self.bottom, other.bottom),
+        )
+
+    # -- transforms ------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def offset_by(self, offset: Offset) -> "Rect":
+        return self.translated(offset.x, offset.y)
+
+    def scaled(self, sx: float, sy: Optional[float] = None) -> "Rect":
+        """Scale about the origin (useful for resolution changes)."""
+        if sy is None:
+            sy = sx
+        return Rect(self.x * sx, self.y * sy, self.w * sx, self.h * sy)
+
+    def inflated(self, margin: float) -> "Rect":
+        """Grow (or shrink, for negative margin) uniformly about the center.
+
+        Shrinking below zero size clamps to a zero-area rect at the
+        center rather than raising.
+        """
+        new_w = max(0.0, self.w + 2 * margin)
+        new_h = max(0.0, self.h + 2 * margin)
+        cx, cy = self.center
+        return Rect.from_center(cx, cy, new_w, new_h)
+
+    def clipped_to(self, bounds: "Rect") -> "Rect":
+        return self.intersection(bounds)
+
+    def rounded(self) -> "Rect":
+        """Snap to the integer pixel grid (round-half-away behaviour of
+        ``round`` is fine here; detectors only need stable snapping)."""
+        left = int(round(self.left))
+        top = int(round(self.top))
+        right = int(round(self.right))
+        bottom = int(round(self.bottom))
+        return Rect(left, top, max(0, right - left), max(0, bottom - top))
+
+    # -- interop -----------------------------------------------------------
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.x, self.y, self.w, self.h)
+
+    def as_xyxy(self) -> Tuple[float, float, float, float]:
+        return (self.left, self.top, self.right, self.bottom)
+
+    def as_coco(self) -> Tuple[float, float, float, float]:
+        """COCO annotations use ``[x, y, width, height]`` — same as ours."""
+        return self.as_tuple()
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())
+
+    # -- distances ----------------------------------------------------------
+
+    def center_distance(self, other: "Rect") -> float:
+        (ax, ay), (bx, by) = self.center, other.center
+        return math.hypot(ax - bx, ay - by)

@@ -1,0 +1,41 @@
+"""Pure-NumPy raster imaging.
+
+Screens in the simulated Android substrate are rendered to ``float32``
+RGB arrays of shape ``(H, W, 3)`` with channel values in ``[0, 1]``.
+This package provides the drawing primitives (rectangles, rounded
+rectangles, circles, pseudo-text), alpha compositing, blur and edge
+filters, and color utilities (relative luminance, WCAG-style contrast
+ratio) that the dataset generator uses to craft visually asymmetric UIs
+and that the detectors consume.
+"""
+
+from repro.imaging.canvas import Canvas
+from repro.imaging.color import (
+    Color,
+    contrast_ratio,
+    mix,
+    relative_luminance,
+    PALETTE,
+)
+from repro.imaging.filters import (
+    box_blur,
+    gaussian_blur,
+    gradient_magnitude,
+    to_grayscale,
+)
+from repro.imaging.text import draw_pseudo_text, pseudo_text_width
+
+__all__ = [
+    "Canvas",
+    "Color",
+    "contrast_ratio",
+    "mix",
+    "relative_luminance",
+    "PALETTE",
+    "box_blur",
+    "gaussian_blur",
+    "gradient_magnitude",
+    "to_grayscale",
+    "draw_pseudo_text",
+    "pseudo_text_width",
+]

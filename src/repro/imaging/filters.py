@@ -1,0 +1,85 @@
+"""Image filters used for augmentation, masking and classical features.
+
+The text-masking experiment (paper Fig. 7 / Table IV) blurs all text on
+AGO/UPO regions; the RCNN baselines' region proposers need gradient
+magnitude; resizing feeds detector inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.geometry.rect import Rect
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Luma-weighted grayscale, shape (H, W)."""
+    if image.ndim == 2:
+        return image.astype(np.float32)
+    weights = np.array([0.2126, 0.7152, 0.0722], dtype=np.float32)
+    return (image[..., :3] @ weights).astype(np.float32)
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Channel-wise Gaussian blur; no-op for sigma <= 0."""
+    if sigma <= 0:
+        return image.astype(np.float32, copy=True)
+    if image.ndim == 2:
+        return ndimage.gaussian_filter(image, sigma=sigma).astype(np.float32)
+    out = np.empty_like(image, dtype=np.float32)
+    for c in range(image.shape[2]):
+        out[..., c] = ndimage.gaussian_filter(image[..., c], sigma=sigma)
+    return out
+
+
+def box_blur(image: np.ndarray, size: int) -> np.ndarray:
+    """Uniform blur with a ``size x size`` kernel; no-op for size <= 1."""
+    if size <= 1:
+        return image.astype(np.float32, copy=True)
+    if image.ndim == 2:
+        return ndimage.uniform_filter(image, size=size).astype(np.float32)
+    out = np.empty_like(image, dtype=np.float32)
+    for c in range(image.shape[2]):
+        out[..., c] = ndimage.uniform_filter(image[..., c], size=size)
+    return out
+
+
+def blur_region(image: np.ndarray, rect: Rect, sigma: float = 3.0) -> np.ndarray:
+    """Blur only inside ``rect`` — the paper's text-masking operation."""
+    out = image.astype(np.float32, copy=True)
+    h, w = out.shape[:2]
+    r = rect.clipped_to(Rect(0, 0, w, h)).rounded()
+    if r.is_empty():
+        return out
+    y0, y1 = int(r.top), int(r.bottom)
+    x0, x1 = int(r.left), int(r.right)
+    out[y0:y1, x0:x1] = gaussian_blur(out[y0:y1, x0:x1], sigma)
+    return out
+
+
+def gradient_magnitude(image: np.ndarray) -> np.ndarray:
+    """Sobel gradient magnitude of the grayscale image, shape (H, W)."""
+    gray = to_grayscale(image)
+    gx = ndimage.sobel(gray, axis=1)
+    gy = ndimage.sobel(gray, axis=0)
+    return np.hypot(gx, gy).astype(np.float32)
+
+
+def resize(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear-ish resize via scipy zoom (order=1), channel-wise."""
+    if image.ndim == 2:
+        zoom = (out_h / image.shape[0], out_w / image.shape[1])
+        out = ndimage.zoom(image, zoom, order=1)
+    else:
+        zoom = (out_h / image.shape[0], out_w / image.shape[1], 1)
+        out = ndimage.zoom(image, zoom, order=1)
+    # scipy zoom can be off by one pixel; crop/pad to the exact shape.
+    out = out[:out_h, :out_w]
+    pad_h, pad_w = out_h - out.shape[0], out_w - out.shape[1]
+    if pad_h > 0 or pad_w > 0:
+        pads = [(0, max(0, pad_h)), (0, max(0, pad_w))]
+        if out.ndim == 3:
+            pads.append((0, 0))
+        out = np.pad(out, pads, mode="edge")
+    return np.clip(out.astype(np.float32), 0.0, 1.0)

@@ -1,0 +1,41 @@
+"""The user study (paper Section III-B).
+
+The study itself involved 165 human participants on Wenjuanxing; humans
+are the one substrate we cannot implement.  What *is* reproducible is
+everything around them, and that is what this package provides:
+
+- :mod:`repro.userstudy.survey` — the 12-question instrument plus
+  demographics, as typed data structures with response validation and
+  the paper's quality gate (the 90-second completion threshold);
+- :mod:`repro.userstudy.population` — a simulated respondent population
+  whose response model is calibrated to the paper's published
+  aggregates (the only synthetic element, clearly labeled);
+- :mod:`repro.userstudy.analysis` — the analysis pipeline that turns a
+  response set into Findings 1-3 and the summary statistics of
+  Section III-B.
+"""
+
+from repro.userstudy.survey import (
+    Demographics,
+    Question,
+    QuestionKind,
+    Response,
+    SURVEY,
+    SurveyInstrument,
+)
+from repro.userstudy.population import PopulationModel, simulate_responses
+from repro.userstudy.analysis import StudyFindings, analyze_responses, subgroup_findings
+
+__all__ = [
+    "Demographics",
+    "Question",
+    "QuestionKind",
+    "Response",
+    "SURVEY",
+    "SurveyInstrument",
+    "PopulationModel",
+    "simulate_responses",
+    "StudyFindings",
+    "analyze_responses",
+    "subgroup_findings",
+]

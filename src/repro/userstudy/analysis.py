@@ -1,0 +1,143 @@
+"""Analysis of survey responses → Findings 1-3 (Section III-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.userstudy.survey import Response
+
+
+@dataclass
+class StudyFindings:
+    """The quantitative backbone of Section III-B."""
+
+    n: int
+    frac_misleading: float          # Q1 "yes"
+    frac_often_misclick: float      # Q2 "often"
+    frac_occasional_misclick: float
+    frac_never_misclick: float
+    ago_mean_rating: float          # Q3-Q5
+    upo_mean_rating: float
+    frac_bothered: float            # Q7
+    frac_more_auis_in_china: float  # Q8, among foreign-app users
+    n_foreign_app_users: int
+    frac_upo_at_least_equal: float  # Q9
+    demand_mean_rating: float       # Q10
+    n_demand_nine_plus: int
+    frac_prefer_highlight: float    # Q12
+    frac_bachelor: float
+    frac_age_18_35: float
+
+    # -- the paper's three findings, as predicates --------------------
+
+    @property
+    def finding1_auis_misleading(self) -> bool:
+        """Users strongly agree AUIs are misleading."""
+        return self.frac_misleading > 0.9
+
+    @property
+    def finding2_negative_usability_impact(self) -> bool:
+        """AUI brings negative usability impact (esp. apps in China)."""
+        return (self.frac_often_misclick > 0.7
+                and self.frac_bothered > 0.8
+                and self.frac_more_auis_in_china > 0.7)
+
+    @property
+    def finding3_users_expect_solutions(self) -> bool:
+        """Users expect practical accessibility countermeasures."""
+        return self.demand_mean_rating > 7.0 and self.frac_prefer_highlight > 0.5
+
+    @property
+    def accessibility_gap(self) -> float:
+        """AGO vs UPO mean rating gap — the asymmetry, quantified."""
+        return self.ago_mean_rating - self.upo_mean_rating
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "frac_misleading": self.frac_misleading,
+            "frac_often_misclick": self.frac_often_misclick,
+            "ago_mean_rating": self.ago_mean_rating,
+            "upo_mean_rating": self.upo_mean_rating,
+            "frac_bothered": self.frac_bothered,
+            "frac_more_auis_in_china": self.frac_more_auis_in_china,
+            "frac_upo_at_least_equal": self.frac_upo_at_least_equal,
+            "demand_mean_rating": self.demand_mean_rating,
+            "frac_prefer_highlight": self.frac_prefer_highlight,
+        }
+
+
+def subgroup_findings(
+    responses: Sequence[Response],
+) -> Dict[str, StudyFindings]:
+    """Findings per demographic subgroup.
+
+    The paper flags its sample as young and highly educated, arguing the
+    real-world need is understated.  Splitting the analysis by
+    demographics makes that argument inspectable: compare the demand
+    rating of the bachelor+/18-35 majority against the rest.
+    """
+    groups: Dict[str, List[Response]] = {
+        "all": list(responses),
+        "age 18-35": [r for r in responses
+                      if r.demographics.age_range == "18-35"],
+        "age other": [r for r in responses
+                      if r.demographics.age_range != "18-35"],
+        "bachelor+": [r for r in responses
+                      if r.demographics.education == "bachelor+"],
+        "no degree": [r for r in responses
+                      if r.demographics.education != "bachelor+"],
+        "male": [r for r in responses if r.demographics.gender == "male"],
+        "female": [r for r in responses if r.demographics.gender == "female"],
+    }
+    return {name: analyze_responses(members)
+            for name, members in groups.items() if members}
+
+
+def analyze_responses(responses: Sequence[Response]) -> StudyFindings:
+    """Reduce a validated response set to the Section III-B statistics."""
+    if not responses:
+        raise ValueError("no responses to analyze")
+    n = len(responses)
+
+    def frac(pred) -> float:
+        return sum(1 for r in responses if pred(r)) / n
+
+    ago_ratings: List[float] = []
+    upo_ratings: List[float] = []
+    for r in responses:
+        for ago, upo in r.rating_pairs():
+            ago_ratings.append(ago)
+            upo_ratings.append(upo)
+
+    foreign_users = [r for r in responses
+                     if r.answers["Q8"] != "never used foreign apps"]
+    more_cn = sum(1 for r in foreign_users if r.answers["Q8"] == "more AUIs")
+
+    q10 = [float(r.answers["Q10"]) for r in responses]
+
+    return StudyFindings(
+        n=n,
+        frac_misleading=frac(lambda r: r.answers["Q1"] == "yes"),
+        frac_often_misclick=frac(lambda r: r.answers["Q2"] == "often"),
+        frac_occasional_misclick=frac(lambda r: r.answers["Q2"] == "occasionally"),
+        frac_never_misclick=frac(lambda r: r.answers["Q2"] == "never"),
+        ago_mean_rating=float(np.mean(ago_ratings)),
+        upo_mean_rating=float(np.mean(upo_ratings)),
+        frac_bothered=frac(
+            lambda r: r.answers["Q7"] == "bothered, want to exit quickly"),
+        frac_more_auis_in_china=(more_cn / len(foreign_users)
+                                 if foreign_users else 0.0),
+        n_foreign_app_users=len(foreign_users),
+        frac_upo_at_least_equal=frac(
+            lambda r: r.answers["Q9"] in ("more important", "equally important")),
+        demand_mean_rating=float(np.mean(q10)),
+        n_demand_nine_plus=sum(1 for v in q10 if v >= 9),
+        frac_prefer_highlight=frac(
+            lambda r: r.answers["Q12"] == "highlight the options"),
+        frac_bachelor=frac(lambda r: r.demographics.education == "bachelor+"),
+        frac_age_18_35=frac(lambda r: r.demographics.age_range == "18-35"),
+    )

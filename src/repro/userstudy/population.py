@@ -1,0 +1,147 @@
+"""A simulated respondent population.
+
+THE ONE SYNTHETIC PIECE of the user-study reproduction: 165 respondents
+whose marginal answer distributions are calibrated, quota-style, to the
+aggregates the paper publishes (Section III-B).  Count-valued aggregates
+are matched exactly; mean ratings are matched to within rounding by
+integer rating multisets constructed to hit the published means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.userstudy.survey import Demographics, Response
+
+N_PARTICIPANTS = 165
+
+
+@dataclass(frozen=True)
+class PopulationModel:
+    """Published aggregates the simulated population must reproduce."""
+
+    n: int = N_PARTICIPANTS
+    n_male: int = 74                  # vs 91 female
+    frac_age_18_35: float = 0.764
+    frac_bachelor: float = 0.939
+    q1_yes: int = 156                 # 94.5% find the examples misleading
+    q2_often: int = 127
+    q2_occasionally: int = 34
+    q2_never: int = 4
+    ago_mean: float = 7.49            # Q3-Q5 average accessibility ratings
+    upo_mean: float = 4.38
+    q7_bothered: int = 137            # 83.0% bothered, want to exit
+    q8_foreign_app_users: int = 112
+    q8_more_in_china: int = 86        # of the foreign-app users
+    q9_upo_at_least_equal: int = 120  # 72.7%
+    q10_mean: float = 7.64            # demand for a countermeasure
+    q10_nine_plus: int = 48
+    q12_highlight_majority: float = 0.55  # >50% prefer highlighting
+
+
+def _quota_flags(n: int, n_true: int, rng: np.random.Generator) -> List[bool]:
+    flags = [True] * n_true + [False] * (n - n_true)
+    rng.shuffle(flags)
+    return flags
+
+
+def _ratings_with_mean(n: int, target_mean: float, rng: np.random.Generator,
+                       lo: int = 1, hi: int = 10) -> List[int]:
+    """An integer rating multiset whose mean hits ``target_mean`` to
+    within 1/(2n), built by greedy adjustment of a random draw."""
+    target_sum = round(target_mean * n)
+    vals = rng.integers(lo, hi + 1, size=n).astype(int)
+    # Greedy repair: nudge random entries until the sum matches.
+    while vals.sum() != target_sum:
+        i = int(rng.integers(0, n))
+        if vals.sum() < target_sum and vals[i] < hi:
+            vals[i] += 1
+        elif vals.sum() > target_sum and vals[i] > lo:
+            vals[i] -= 1
+    return [int(v) for v in vals]
+
+
+def _ratings_with_mean_and_tail(
+    n: int, target_mean: float, n_high: int, rng: np.random.Generator
+) -> List[int]:
+    """Ratings hitting both a mean and an exact count of 9-or-above."""
+    high = [int(rng.integers(9, 11)) for _ in range(n_high)]
+    remaining_sum = round(target_mean * n) - sum(high)
+    low_n = n - n_high
+    low = _ratings_with_mean(low_n, remaining_sum / low_n, rng, lo=1, hi=8)
+    vals = high + low
+    rng.shuffle(vals)
+    return vals
+
+
+def simulate_responses(
+    seed: int = 0, model: PopulationModel = PopulationModel()
+) -> List[Response]:
+    """Deal out ``model.n`` responses matching every published count."""
+    rng = np.random.default_rng(seed)
+    n = model.n
+
+    male = _quota_flags(n, model.n_male, rng)
+    young = _quota_flags(n, round(model.frac_age_18_35 * n), rng)
+    degree = _quota_flags(n, round(model.frac_bachelor * n), rng)
+
+    q1 = _quota_flags(n, model.q1_yes, rng)
+    q2_vals = (["often"] * model.q2_often
+               + ["occasionally"] * model.q2_occasionally
+               + ["never"] * model.q2_never)
+    rng.shuffle(q2_vals)
+
+    # Three AGO/UPO rating pairs per person: 3n ratings per option kind.
+    ago_ratings = _ratings_with_mean(3 * n, model.ago_mean, rng)
+    upo_ratings = _ratings_with_mean(3 * n, model.upo_mean, rng)
+
+    q7 = _quota_flags(n, model.q7_bothered, rng)
+    foreign = _quota_flags(n, model.q8_foreign_app_users, rng)
+    more_cn = _quota_flags(model.q8_foreign_app_users, model.q8_more_in_china, rng)
+    q9 = _quota_flags(n, model.q9_upo_at_least_equal, rng)
+    q10 = _ratings_with_mean_and_tail(n, model.q10_mean, model.q10_nine_plus, rng)
+    q12_highlight = _quota_flags(n, round(model.q12_highlight_majority * n), rng)
+
+    responses: List[Response] = []
+    foreign_idx = 0
+    for i in range(n):
+        if foreign[i]:
+            q8 = "more AUIs" if more_cn[foreign_idx] else "about the same"
+            foreign_idx += 1
+        else:
+            q8 = "never used foreign apps"
+        answers = {
+            "Q1": "yes" if q1[i] else "no",
+            "Q2": q2_vals[i],
+            "Q3": (float(ago_ratings[3 * i]), float(upo_ratings[3 * i])),
+            "Q4": (float(ago_ratings[3 * i + 1]), float(upo_ratings[3 * i + 1])),
+            "Q5": (float(ago_ratings[3 * i + 2]), float(upo_ratings[3 * i + 2])),
+            "Q6": str(rng.choice(["splash ads", "in-app promotions",
+                                  "floating windows", "app upgrades"],
+                                 p=[0.45, 0.25, 0.2, 0.1])),
+            "Q7": ("bothered, want to exit quickly" if q7[i]
+                   else str(rng.choice(["indifferent", "curious"]))),
+            "Q8": q8,
+            "Q9": ("equally important" if q9[i] and bool(rng.integers(0, 2))
+                   else "more important" if q9[i] else "less important"),
+            "Q10": q10[i],
+            "Q11": "yes" if q10[i] >= 5 else str(rng.choice(["yes", "no"])),
+            "Q12": ("highlight the options" if q12_highlight[i]
+                    else str(rng.choice(["auto-skip the UI", "block the app",
+                                         "no action"], p=[0.6, 0.2, 0.2]))),
+        }
+        demo = Demographics(
+            gender="male" if male[i] else "female",
+            age_range="18-35" if young[i] else str(rng.choice(["36-50", "50+"])),
+            education="bachelor+" if degree[i] else "other",
+        )
+        responses.append(Response(
+            answers=answers,
+            demographics=demo,
+            # All real respondents passed the 90s gate in the paper.
+            completion_seconds=float(rng.uniform(95, 600)),
+        ))
+    return responses

@@ -1,0 +1,140 @@
+"""The survey instrument (paper Section III-B).
+
+Three parts: perceptions of AUI (Q1-Q2), quantitative accessibility
+ratings for the options on three example AUIs (Q3-Q5) plus context
+questions (Q6-Q8), and expected countermeasures (Q9-Q12); demographics
+close the survey.  Responses are validated against each question's
+domain, and the paper's anti-robot quality gate (completion time >= 90
+seconds) is enforced at ingestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Answer = Union[str, int, float, Tuple[float, float]]
+
+
+class QuestionKind(Enum):
+    CHOICE = "choice"           # one option from a list
+    RATING = "rating"           # integer 1..10
+    PAIR_RATING = "pair_rating"  # (AGO rating, UPO rating), each 1..10
+
+
+@dataclass(frozen=True)
+class Question:
+    qid: str
+    text: str
+    kind: QuestionKind
+    options: Tuple[str, ...] = ()
+
+    def validate(self, answer: Answer) -> None:
+        if self.kind is QuestionKind.CHOICE:
+            if answer not in self.options:
+                raise ValueError(f"{self.qid}: {answer!r} not in {self.options}")
+        elif self.kind is QuestionKind.RATING:
+            if not (isinstance(answer, (int, float)) and 1 <= answer <= 10):
+                raise ValueError(f"{self.qid}: rating must be 1..10, got {answer!r}")
+        elif self.kind is QuestionKind.PAIR_RATING:
+            ok = (isinstance(answer, tuple) and len(answer) == 2
+                  and all(1 <= a <= 10 for a in answer))
+            if not ok:
+                raise ValueError(f"{self.qid}: expected (ago, upo) 1..10 pair")
+
+
+#: The instrument, one entry per paper question.
+_QUESTIONS: Tuple[Question, ...] = (
+    Question("Q1", "Do the two example UIs feel misleading and likely to "
+                   "cause unintended clicks?", QuestionKind.CHOICE,
+             ("yes", "no")),
+    Question("Q2", "How often do you click unintended UI options in daily "
+                   "app use?", QuestionKind.CHOICE,
+             ("often", "occasionally", "never")),
+    Question("Q3", "Rate the accessibility of the options on example AUI 1.",
+             QuestionKind.PAIR_RATING),
+    Question("Q4", "Rate the accessibility of the options on example AUI 2.",
+             QuestionKind.PAIR_RATING),
+    Question("Q5", "Rate the accessibility of the options on example AUI 3.",
+             QuestionKind.PAIR_RATING),
+    Question("Q6", "Which scenario most often causes your unintended "
+                   "clicks?", QuestionKind.CHOICE,
+             ("splash ads", "in-app promotions", "floating windows",
+              "app upgrades", "other")),
+    Question("Q7", "How do you feel when an unintended click happens?",
+             QuestionKind.CHOICE,
+             ("bothered, want to exit quickly", "indifferent", "curious")),
+    Question("Q8", "Compared with apps from other countries, apps in China "
+                   "show...", QuestionKind.CHOICE,
+             ("more AUIs", "about the same", "fewer AUIs",
+              "never used foreign apps")),
+    Question("Q9", "How important is the user-preferred option relative to "
+                   "the app-guided one?", QuestionKind.CHOICE,
+             ("more important", "equally important", "less important")),
+    Question("Q10", "Rate the need for a tool that improves accessibility "
+                    "against AUIs.", QuestionKind.RATING),
+    Question("Q11", "Should the mobile OS make UI options more accessible?",
+             QuestionKind.CHOICE, ("yes", "no")),
+    Question("Q12", "Which countermeasure would you prefer?",
+             QuestionKind.CHOICE,
+             ("highlight the options", "auto-skip the UI", "block the app",
+              "no action")),
+)
+
+
+@dataclass(frozen=True)
+class Demographics:
+    """Q13-Q14 plus gender; no personally identifiable information."""
+
+    gender: str           # "male" | "female"
+    age_range: str        # "18-35" | "under-18" | "36-50" | "50+"
+    education: str        # "bachelor+" | "other"
+
+
+@dataclass
+class Response:
+    """One participant's validated submission."""
+
+    answers: Dict[str, Answer]
+    demographics: Demographics
+    completion_seconds: float
+
+    def rating_pairs(self) -> List[Tuple[float, float]]:
+        return [self.answers[q] for q in ("Q3", "Q4", "Q5")]  # type: ignore[misc]
+
+
+class SurveyInstrument:
+    """Validates and collects responses, applying the quality gate."""
+
+    #: The paper's anti-robot threshold.
+    MIN_COMPLETION_SECONDS = 90.0
+
+    def __init__(self, questions: Sequence[Question] = _QUESTIONS):
+        self.questions = tuple(questions)
+        self._by_id = {q.qid: q for q in self.questions}
+        self.responses: List[Response] = []
+        self.rejected: int = 0
+
+    def question(self, qid: str) -> Question:
+        return self._by_id[qid]
+
+    def submit(self, response: Response) -> bool:
+        """Validate and ingest; returns False when quality-gated out."""
+        missing = [q.qid for q in self.questions if q.qid not in response.answers]
+        if missing:
+            raise ValueError(f"missing answers for {missing}")
+        for qid, answer in response.answers.items():
+            self._by_id[qid].validate(answer)
+        if response.completion_seconds < self.MIN_COMPLETION_SECONDS:
+            self.rejected += 1
+            return False
+        self.responses.append(response)
+        return True
+
+    @property
+    def n_valid(self) -> int:
+        return len(self.responses)
+
+
+SURVEY = SurveyInstrument()

@@ -1,0 +1,222 @@
+"""Adversarial-patch attacks against the AUI detector.
+
+The paper's Limitations section concedes that "determined attackers can
+freely test the adopted CV-model to develop targeted attacks, such as
+adversarial patch attacks" and that DARPA, as shipped, cannot defend
+against them.  This module makes that limitation measurable:
+
+- :func:`craft_suppression_patch` runs a PGD-style attack that
+  optimizes a localized perturbation (a *patch* over the option region)
+  to suppress the detector's objectness — the attack a dark-pattern
+  author would mount to hide the UPO from DARPA;
+- :func:`attack_recall` measures detector recall before/after patching
+  every ground-truth option of a dataset;
+- :func:`SmoothedDetector` wraps a detector with randomized-smoothing
+  style input jitter averaging — the "more resilient models" mitigation
+  direction the paper points at — trading inference cost for a harder
+  attack surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.iou import iou
+from repro.geometry.nms import ScoredBox, non_max_suppression
+from repro.geometry.rect import Rect
+from repro.vision.dataset import DetectionDataset
+from repro.vision.nn.losses import sigmoid
+from repro.vision.yolo import TinyYolo
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """PGD attack hyper-parameters."""
+
+    steps: int = 25
+    step_size: float = 0.06
+    epsilon: float = 0.9       # patch pixels may move this far in [0,1]
+    patch_margin: float = 1.5  # patch extends this far beyond the box
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+        if not 0 < self.epsilon <= 1:
+            raise ValueError("epsilon must be in (0, 1]")
+
+
+_eval_model_cache: Dict[int, TinyYolo] = {}
+
+
+def _eval_model(model: TinyYolo) -> TinyYolo:
+    """A BN-folded clone whose train-mode forward equals inference.
+
+    BatchNorm uses batch statistics under ``training=True`` (needed for
+    backward caches) but running statistics at inference; attacking the
+    raw graph would optimize the wrong function.  Folding BN into the
+    convolutions (the same transform the mobile port applies) removes
+    the discrepancy.
+    """
+    key = id(model)
+    if key not in _eval_model_cache:
+        from repro.vision.porting import MobilePort, PortConfig
+        _eval_model_cache[key] = MobilePort(
+            model, PortConfig(quantization="none")).model
+    return _eval_model_cache[key]
+
+
+def _objectness_input_gradient(model: TinyYolo, x: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Gradient of total objectness probability w.r.t. the input.
+
+    The attacker's loss is ``sum(sigmoid(obj_logits))`` — pushing it
+    down makes every cell deny having an object.
+    """
+    raw = model.forward(x, training=True)
+    p_obj = sigmoid(raw[:, 0])
+    loss = float(p_obj.sum())
+    grad_raw = np.zeros_like(raw)
+    grad_raw[:, 0] = p_obj * (1.0 - p_obj)  # d loss / d obj_logit
+    d_head = model.head.backward(grad_raw)
+    dx = model.backbone.backward(d_head)
+    return loss, dx
+
+
+def _patch_mask(shape: Tuple[int, ...], rect: Rect, margin: float) -> np.ndarray:
+    """A (1, 1, H, W) mask covering the inflated target box."""
+    _, _, h, w = shape
+    grown = rect.inflated(margin * max(2.0, min(rect.w, rect.h) * 0.2))
+    grown = grown.clipped_to(Rect(0, 0, w, h)).rounded()
+    mask = np.zeros((1, 1, h, w), dtype=np.float32)
+    if grown.is_empty():
+        return mask
+    mask[:, :, int(grown.top):int(grown.bottom),
+         int(grown.left):int(grown.right)] = 1.0
+    return mask
+
+
+def craft_suppression_patch(
+    model: TinyYolo,
+    image: np.ndarray,
+    target: Rect,
+    config: Optional[AttackConfig] = None,
+) -> np.ndarray:
+    """PGD over the patch region to suppress detection.
+
+    ``image`` is a single input tensor ``(3, H, W)`` in detector input
+    space; ``target`` the option box (input coordinates) the attacker
+    wants hidden.  Returns the patched input tensor.
+    """
+    config = config or AttackConfig()
+    attacked = _eval_model(model)
+    x = image[None].astype(np.float32).copy()
+    original = x.copy()
+    mask = _patch_mask(x.shape, target, config.patch_margin)
+    for _ in range(config.steps):
+        _, dx = _objectness_input_gradient(attacked, x)
+        x = x - config.step_size * np.sign(dx) * mask
+        # Project into the epsilon-ball around the original and [0, 1].
+        x = np.clip(x, original - config.epsilon * mask,
+                    original + config.epsilon * mask)
+        x = np.clip(x, 0.0, 1.0)
+    return x[0]
+
+
+def _recall(model_like, dataset: DetectionDataset,
+            images: Sequence[np.ndarray],
+            conf_threshold: float, match_iou: float) -> float:
+    found = total = 0
+    for i, labs in enumerate(dataset.labels):
+        dets = model_like.detect_batch(np.asarray(images[i])[None],
+                                       conf_threshold)[0]
+        for cls, rect in labs:
+            total += 1
+            name = ("AGO", "UPO")[cls]
+            if any(d.label == name and iou(d.rect, rect) > match_iou
+                   for d in dets):
+                found += 1
+    return found / total if total else 0.0
+
+
+def attack_recall(
+    model: TinyYolo,
+    dataset: DetectionDataset,
+    config: Optional[AttackConfig] = None,
+    conf_threshold: float = 0.4,
+    match_iou: float = 0.3,
+    detector=None,
+) -> Dict[str, float]:
+    """Coarse detection recall before vs after per-option patching.
+
+    ``detector`` defaults to the attacked model itself (white-box);
+    pass a :class:`SmoothedDetector` to measure the mitigation.
+    Matching uses a loose IoU because the attack targets *detection*,
+    not localization — a suppressed option never reaches refinement.
+    """
+    config = config or AttackConfig()
+    detector = detector or model
+    clean = [dataset.images[i] for i in range(len(dataset))]
+    patched: List[np.ndarray] = []
+    for i in range(len(dataset)):
+        x = dataset.images[i]
+        for _, rect in dataset.labels[i]:
+            x = craft_suppression_patch(model, x, rect, config)
+        patched.append(x)
+    return {
+        "clean_recall": _recall(detector, dataset, clean,
+                                conf_threshold, match_iou),
+        "attacked_recall": _recall(detector, dataset, patched,
+                                   conf_threshold, match_iou),
+    }
+
+
+class SmoothedDetector:
+    """Randomized-smoothing-style wrapper: detect over jittered copies.
+
+    Runs the base model on ``n_samples`` noisy copies of the input and
+    keeps boxes that persist across a majority of them.  Adversarial
+    patches tuned to one exact input lose much of their bite under the
+    noise; the cost is ``n_samples``x inference.
+    """
+
+    def __init__(self, model: TinyYolo, n_samples: int = 5,
+                 noise_sigma: float = 0.04, vote_frac: float = 0.5,
+                 seed: int = 0):
+        if n_samples < 1:
+            raise ValueError("need at least one sample")
+        self.model = model
+        self.n_samples = n_samples
+        self.noise_sigma = noise_sigma
+        self.vote_frac = vote_frac
+        self.rng = np.random.default_rng(seed)
+
+    def detect_batch(self, images: np.ndarray,
+                     conf_threshold: Optional[float] = None
+                     ) -> List[List[ScoredBox]]:
+        out: List[List[ScoredBox]] = []
+        for i in range(images.shape[0]):
+            x = images[i]
+            votes: List[ScoredBox] = []
+            for _ in range(self.n_samples):
+                noisy = np.clip(
+                    x + self.rng.normal(0, self.noise_sigma,
+                                        x.shape).astype(np.float32),
+                    0, 1,
+                )
+                votes.extend(self.model.detect_batch(noisy[None],
+                                                     conf_threshold)[0])
+            out.append(self._consensus(votes))
+        return out
+
+    def _consensus(self, votes: Sequence[ScoredBox]) -> List[ScoredBox]:
+        needed = max(1, int(np.ceil(self.vote_frac * self.n_samples)))
+        merged = non_max_suppression(list(votes), iou_threshold=0.5)
+        kept = []
+        for box in merged:
+            support = sum(1 for v in votes
+                          if v.label == box.label and iou(v.rect, box.rect) > 0.5)
+            if support >= needed:
+                kept.append(box)
+        return kept

@@ -1,0 +1,102 @@
+"""Training-time data augmentation.
+
+The paper's YOLOv5 training inherits ultralytics' augmentation stack;
+our corpus is synthetic and already randomized, so augmentation is
+opt-in — but it measurably hardens the detector against render-level
+shifts (brightness, noise, small translations) and is exercised by the
+robustness-oriented tests.
+
+All transforms operate on NCHW batches and adjust labels when geometry
+changes, returning new arrays (inputs are never mutated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+Labels = List[List[Tuple[int, Rect]]]
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Augmentation strengths (0 disables a transform)."""
+
+    brightness: float = 0.12     # additive, uniform in [-b, +b]
+    contrast: float = 0.15       # multiplicative, in [1-c, 1+c]
+    noise_sigma: float = 0.015   # Gaussian pixel noise
+    max_shift_px: int = 3        # random translation (labels follow)
+    hflip_prob: float = 0.0      # UIs are chirality-sensitive: default off
+
+    def __post_init__(self) -> None:
+        if self.max_shift_px < 0:
+            raise ValueError("shift must be non-negative")
+        if not 0.0 <= self.hflip_prob <= 1.0:
+            raise ValueError("hflip_prob must be a probability")
+
+
+def augment_batch(
+    images: np.ndarray,
+    labels: Labels,
+    rng: np.random.Generator,
+    config: AugmentConfig = AugmentConfig(),
+) -> Tuple[np.ndarray, Labels]:
+    """Apply per-sample photometric + geometric augmentation."""
+    n, _, h, w = images.shape
+    if len(labels) != n:
+        raise ValueError("labels/images length mismatch")
+    out = images.copy()
+    new_labels: Labels = []
+    for i in range(n):
+        img = out[i]
+        # Photometric: contrast about the mean, then brightness shift.
+        if config.contrast > 0:
+            factor = 1.0 + float(rng.uniform(-config.contrast, config.contrast))
+            mean = img.mean()
+            img = (img - mean) * factor + mean
+        if config.brightness > 0:
+            img = img + float(rng.uniform(-config.brightness, config.brightness))
+        if config.noise_sigma > 0:
+            img = img + rng.normal(0, config.noise_sigma,
+                                   img.shape).astype(np.float32)
+        img = np.clip(img, 0.0, 1.0)
+
+        labs = list(labels[i])
+        # Geometric: integer translation with edge padding.
+        if config.max_shift_px > 0:
+            dx = int(rng.integers(-config.max_shift_px, config.max_shift_px + 1))
+            dy = int(rng.integers(-config.max_shift_px, config.max_shift_px + 1))
+            img = _shift(img, dx, dy)
+            labs = [(cls, _shift_rect(rect, dx, dy, w, h))
+                    for cls, rect in labs]
+            labs = [(cls, rect) for cls, rect in labs if not rect.is_empty()]
+        if config.hflip_prob > 0 and rng.random() < config.hflip_prob:
+            img = img[:, :, ::-1].copy()
+            labs = [(cls, Rect(w - rect.right, rect.y, rect.w, rect.h))
+                    for cls, rect in labs]
+        out[i] = img
+        new_labels.append(labs)
+    return out, new_labels
+
+
+def _shift(img: np.ndarray, dx: int, dy: int) -> np.ndarray:
+    """Translate a CHW image, edge-padding the uncovered strip."""
+    shifted = np.roll(img, shift=(dy, dx), axis=(1, 2))
+    if dy > 0:
+        shifted[:, :dy, :] = shifted[:, dy:dy + 1, :]
+    elif dy < 0:
+        shifted[:, dy:, :] = shifted[:, dy - 1:dy, :]
+    if dx > 0:
+        shifted[:, :, :dx] = shifted[:, :, dx:dx + 1]
+    elif dx < 0:
+        shifted[:, :, dx:] = shifted[:, :, dx - 1:dx]
+    return shifted
+
+
+def _shift_rect(rect: Rect, dx: int, dy: int, w: int, h: int) -> Rect:
+    moved = rect.translated(dx, dy)
+    return moved.clipped_to(Rect(0, 0, w, h))

@@ -1,0 +1,174 @@
+"""Detection metrics at a strict IoU threshold.
+
+Implements the paper's evaluation protocol (Section VI-B): a predicted
+option counts as a true positive when it matches a same-class ground
+truth with IoU above 0.9; precision/recall/F1 are reported per class
+and overall.  Also provides the screen-level AUI/non-AUI confusion
+matrix of Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.geometry.iou import match_boxes
+from repro.geometry.nms import ScoredBox
+from repro.geometry.rect import Rect
+
+IOU_THRESHOLD = 0.9
+
+
+@dataclass
+class ClassMetrics:
+    """TP/FP/FN tallies with derived P/R/F1."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        denom = 2 * self.tp + self.fp + self.fn
+        return 2 * self.tp / denom if denom else 0.0
+
+    def merge(self, other: "ClassMetrics") -> "ClassMetrics":
+        return ClassMetrics(self.tp + other.tp, self.fp + other.fp,
+                            self.fn + other.fn)
+
+
+@dataclass
+class EvalResult:
+    """Per-class and pooled metrics for a detection run."""
+
+    per_class: Dict[str, ClassMetrics]
+
+    @property
+    def overall(self) -> ClassMetrics:
+        total = ClassMetrics()
+        for metrics in self.per_class.values():
+            total = total.merge(metrics)
+        return total
+
+    def row(self, name: str) -> Tuple[float, float, float]:
+        """(precision, recall, f1) for a class or 'All'."""
+        m = self.overall if name == "All" else self.per_class[name]
+        return (m.precision, m.recall, m.f1)
+
+
+class DetectionEvaluator:
+    """Accumulates matches over images at one IoU threshold."""
+
+    def __init__(self, iou_threshold: float = IOU_THRESHOLD,
+                 class_names: Sequence[str] = ("AGO", "UPO")):
+        if not 0.0 < iou_threshold <= 1.0:
+            raise ValueError("IoU threshold must be in (0, 1]")
+        self.iou_threshold = iou_threshold
+        self.class_names = tuple(class_names)
+        self._metrics = {name: ClassMetrics() for name in self.class_names}
+
+    def add_image(
+        self,
+        predictions: Sequence[ScoredBox],
+        truths: Sequence[Tuple[str, Rect]],
+    ) -> None:
+        """Score one image's predictions against its ground truth."""
+        for name in self.class_names:
+            preds = sorted(
+                (p for p in predictions if p.label == name),
+                key=lambda p: p.score, reverse=True,
+            )
+            gt = [rect for role, rect in truths if role == name]
+            matches, unmatched_p, unmatched_t = match_boxes(
+                [p.rect for p in preds], gt, self.iou_threshold
+            )
+            m = self._metrics[name]
+            m.tp += len(matches)
+            m.fp += len(unmatched_p)
+            m.fn += len(unmatched_t)
+
+    def add_images(
+        self,
+        predictions: Iterable[Sequence[ScoredBox]],
+        truths: Iterable[Sequence[Tuple[str, Rect]]],
+    ) -> None:
+        for preds, gt in zip(predictions, truths):
+            self.add_image(preds, gt)
+
+    def result(self) -> EvalResult:
+        return EvalResult(per_class={k: ClassMetrics(v.tp, v.fp, v.fn)
+                                     for k, v in self._metrics.items()})
+
+
+def precision_recall_curve(
+    detect_fn,
+    images,
+    truths,
+    thresholds: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    iou_threshold: float = IOU_THRESHOLD,
+) -> List[Tuple[float, float, float]]:
+    """Sweep the confidence threshold; returns (thr, precision, recall).
+
+    ``detect_fn(image, conf_threshold)`` must return scored boxes.  The
+    sweep re-runs detection per threshold (decode is cheap next to the
+    backbone, but this keeps the function detector-agnostic).
+    """
+    out: List[Tuple[float, float, float]] = []
+    for thr in thresholds:
+        evaluator = DetectionEvaluator(iou_threshold=iou_threshold)
+        for image, gt in zip(images, truths):
+            evaluator.add_image(detect_fn(image, thr), gt)
+        overall = evaluator.result().overall
+        out.append((thr, overall.precision, overall.recall))
+    return out
+
+
+@dataclass
+class ScreenConfusion:
+    """Screen-level AUI classification confusion matrix (Table VI).
+
+    A screen is *predicted* AUI when the detector flags at least one
+    UPO on it (the paper counts "screenshots that have UPOs").
+    """
+
+    tp: int = 0  # labeled AUI, predicted AUI
+    fn: int = 0  # labeled AUI, missed
+    fp: int = 0  # labeled non-AUI, predicted AUI
+    tn: int = 0  # labeled non-AUI, predicted non-AUI
+
+    def add_screen(self, labeled_aui: bool, predicted_aui: bool) -> None:
+        if labeled_aui and predicted_aui:
+            self.tp += 1
+        elif labeled_aui:
+            self.fn += 1
+        elif predicted_aui:
+            self.fp += 1
+        else:
+            self.tn += 1
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    def as_matrix(self) -> Dict[str, Dict[str, int]]:
+        """Rows: labeled; columns: predicted — Table VI layout."""
+        return {
+            "AUI": {"AUI": self.tp, "Non-AUI": self.fn},
+            "Non-AUI": {"AUI": self.fp, "Non-AUI": self.tn},
+        }

@@ -1,0 +1,55 @@
+"""A minimal NumPy neural-network library with manual backprop.
+
+Layout convention is NCHW (batch, channels, height, width), float32.
+Every layer exposes ``forward(x, training)`` and ``backward(grad)``;
+parameters and their gradients are reachable through ``parameters()``
+so optimizers stay layer-agnostic.  Correctness is guarded by numerical
+gradient checks in the test suite (see
+:mod:`repro.vision.nn.gradcheck`).
+"""
+
+from repro.vision.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    Linear,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from repro.vision.nn.losses import (
+    bce_with_logits,
+    mse_loss,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.vision.nn.optim import SGD, Adam
+from repro.vision.nn.gradcheck import numerical_gradient, check_layer_gradients
+
+__all__ = [
+    "BatchNorm2D",
+    "Conv2D",
+    "Flatten",
+    "Layer",
+    "LeakyReLU",
+    "Linear",
+    "MaxPool2D",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "bce_with_logits",
+    "mse_loss",
+    "sigmoid",
+    "softmax",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "numerical_gradient",
+    "check_layer_gradients",
+]

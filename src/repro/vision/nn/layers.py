@@ -1,0 +1,334 @@
+"""Layers with manual forward/backward passes.
+
+Convolution uses im2col + GEMM — the same strategy mobile inference
+frameworks like ncnn use on CPUs — which keeps the whole training loop
+inside optimized BLAS calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = value.astype(np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+
+class Layer:
+    """Base layer: stateless unless it declares parameters."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers
+# ---------------------------------------------------------------------------
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+           pad: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N * OH * OW, C * kh * kw) patches."""
+    n, c, h, w = x.shape
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    # Strided sliding windows: shape (N, C, OH, OW, kh, kw), no copy.
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
+           kw: int, stride: int, pad: int, oh: int, ow: int) -> np.ndarray:
+    """Fold patch gradients back onto the (padded) input, then crop."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += (
+                cols6[:, :, :, :, i, j]
+            )
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+# ---------------------------------------------------------------------------
+# Core layers
+# ---------------------------------------------------------------------------
+
+class Conv2D(Layer):
+    """2-D convolution (cross-correlation) with He initialization."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3,
+                 stride: int = 1, pad: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 bias: bool = True):
+        if pad is None:
+            pad = kernel // 2  # "same" for stride 1
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, (out_channels, in_channels, kernel, kernel)),
+            name="conv.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="conv.bias") if bias else None
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n = x.shape[0]
+        cols, oh, ow = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        w2d = self.weight.value.reshape(self.weight.shape[0], -1)
+        out = cols @ w2d.T
+        if self.bias is not None:
+            out += self.bias.value
+        out = out.reshape(n, oh, ow, -1).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (x.shape, cols, oh, ow)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        x_shape, cols, oh, ow = self._cache
+        n = grad.shape[0]
+        g2d = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, -1)
+        w2d = self.weight.value.reshape(self.weight.shape[0], -1)
+        self.weight.grad += (g2d.T @ cols).reshape(self.weight.shape)
+        if self.bias is not None:
+            self.bias.grad += g2d.sum(axis=0)
+        dcols = g2d @ w2d
+        return col2im(dcols, x_shape, self.kernel, self.kernel, self.stride,
+                      self.pad, oh, ow)
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class Linear(Layer):
+    """Fully-connected layer with He initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, (out_features, in_features)),
+            name="linear.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name="linear.bias")
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward(training=True)")
+        self.weight.grad += grad.T @ self._x
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(channels), name="bn.gamma")
+        self.beta = Parameter(np.zeros(channels), name="bn.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (self.momentum * self.running_mean
+                                 + (1 - self.momentum) * mean).astype(np.float32)
+            self.running_var = (self.momentum * self.running_var
+                                + (1 - self.momentum) * var).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (self.gamma.value[None, :, None, None] * x_hat
+               + self.beta.value[None, :, None, None])
+        if training:
+            self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        x_hat, inv_std, shape = self._cache
+        n, c, h, w = shape
+        m = n * h * w
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+        g = grad * self.gamma.value[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (inv_std[None, :, None, None] / m) * (
+            m * g - sum_g - x_hat * sum_gx
+        )
+        return dx
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, size: int = 2):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
+        oh, ow = h // s, w // s
+        # Window axes: (n, c, oh, s, ow, s).
+        xr = x.reshape(n, c, oh, s, ow, s)
+        out = xr.max(axis=(3, 5))
+        if training:
+            mask6 = xr == out[:, :, :, None, :, None]
+            # Break ties: keep only the first max per window.  Bring the
+            # two window axes together before flattening them.
+            flat = mask6.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, s * s)
+            first = np.cumsum(flat, axis=-1) == 1
+            mask = (flat & first).reshape(n, c, oh, ow, s, s)
+            self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        mask, x_shape = self._cache
+        n, c, h, w = x_shape
+        s = self.size
+        # mask axes (n, c, oh, ow, s, s) -> input layout (n, c, oh, s, ow, s).
+        g = grad[:, :, :, :, None, None] * mask
+        return g.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+
+
+class LeakyReLU(Layer):
+    def __init__(self, slope: float = 0.1):
+        self.slope = slope
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.where(x > 0, x, self.slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward(training=True)")
+        return np.where(self._mask, grad, self.slope * grad)
+
+
+class ReLU(LeakyReLU):
+    def __init__(self):
+        super().__init__(slope=0.0)
+
+
+class Sigmoid(Layer):
+    def __init__(self):
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward before forward(training=True)")
+        return grad * self._out * (1.0 - self._out)
+
+
+class Flatten(Layer):
+    def __init__(self):
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward(training=True)")
+        return grad.reshape(self._shape)
+
+
+class Sequential(Layer):
+    """A linear stack of layers."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params

@@ -1,0 +1,88 @@
+"""Losses and elementwise nonlinearities (with analytic gradients).
+
+Each loss returns ``(value, grad_wrt_logits)`` so callers can feed the
+gradient straight into ``Sequential.backward`` without an autograd
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def bce_with_logits(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Binary cross entropy on raw logits (numerically stable).
+
+    ``weights`` rescales per-element contributions — the YOLO loss uses
+    it to down-weight the overwhelming number of object-free cells.
+    Returns (mean loss, d loss / d logits).
+    """
+    p = sigmoid(logits)
+    eps = 1e-7
+    per_elem = -(targets * np.log(p + eps) + (1 - targets) * np.log(1 - p + eps))
+    grad = p - targets
+    if weights is not None:
+        per_elem = per_elem * weights
+        grad = grad * weights
+    n = logits.size
+    return float(per_elem.sum() / n), (grad / n).astype(np.float32)
+
+
+def mse_loss(
+    preds: np.ndarray,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Mean squared error; returns (mean loss, d loss / d preds)."""
+    diff = preds - targets
+    per_elem = diff ** 2
+    grad = 2.0 * diff
+    if weights is not None:
+        per_elem = per_elem * weights
+        grad = grad * weights
+    n = preds.size
+    return float(per_elem.sum() / n), (grad / n).astype(np.float32)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Multiclass CE over the last axis; ``labels`` are class indices.
+
+    Returns (mean loss over rows, d loss / d logits).
+    """
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_labels = labels.reshape(-1).astype(int)
+    p = softmax(flat_logits, axis=-1)
+    eps = 1e-9
+    rows = np.arange(flat_labels.shape[0])
+    per_row = -np.log(p[rows, flat_labels] + eps)
+    grad = p.copy()
+    grad[rows, flat_labels] -= 1.0
+    if weights is not None:
+        w = weights.reshape(-1)
+        per_row = per_row * w
+        grad = grad * w[:, None]
+        denom = max(float(w.sum()), 1e-9)
+    else:
+        denom = float(flat_labels.shape[0])
+    loss = float(per_row.sum() / denom)
+    return loss, (grad / denom).reshape(logits.shape).astype(np.float32)

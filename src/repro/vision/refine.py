@@ -1,0 +1,310 @@
+"""Classical box refinement: snapping regressed boxes to widget extents.
+
+The paper evaluates at IoU > 0.9 — far stricter than the usual 0.5 —
+which a coarse grid regressor cannot reach on its own.  UI widgets,
+however, are solid-colored regions with crisp extents, so a cheap
+deterministic post-step recovers the precision.  (YOLOv5 itself reaches
+sub-cell precision through multi-scale heads and finer grids; this step
+plays the same role for our down-scaled single-scale TinyYOLO.)
+
+Two strategies are provided:
+
+- :func:`snap_box_to_region` (default) — nearest-centroid color
+  segmentation.  Seed color comes from the box center, background color
+  from a surrounding ring; a pixel belongs to the widget when it is
+  closer to the seed than to the background.  For a widget composited
+  with alpha ``t`` over the background, a pixel at coverage ``c`` has
+  color ``c*t*w + (1-c*t)*bg``, so the decision boundary sits exactly at
+  half coverage — the same boundary a human annotator draws.  The box
+  becomes the bounding box of the connected component under the center.
+- :func:`snap_box_to_edges` — per-edge gradient-profile maximization;
+  weaker on busy backgrounds, kept for the ablation benchmark.
+
+Both degrade to "return the regressed box unchanged" when the image
+offers no usable structure, so refinement never invents detections.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.geometry.rect import Rect
+from repro.imaging.filters import gradient_magnitude
+
+
+def _plausible(pred: Rect, probe: Rect, refined: Rect) -> bool:
+    """Sanity gate on a refinement result.
+
+    A correct widget snap contains the regressor's center (the one
+    signal grid detectors get nearly right), does not drift far from
+    it, and does not balloon relative to the probe it grew from —
+    ballooning is the signature of merging into neighbouring content.
+    """
+    cx, cy = pred.center
+    if not refined.contains_point(cx, cy):
+        return False
+    rcx, rcy = refined.center
+    max_shift = 0.55 * max(pred.w, pred.h) + 2.0
+    if abs(rcx - cx) > max_shift or abs(rcy - cy) > max_shift:
+        return False
+    if refined.w > 2.1 * probe.w + 4 or refined.h > 2.1 * probe.h + 4:
+        return False
+    return True
+
+
+def _iterate_snap(image: np.ndarray, start: Rect, iterations: int,
+                  **kwargs) -> Rect:
+    current = start
+    for _ in range(max(1, iterations)):
+        nxt = snap_box_to_region(image, current, **kwargs)
+        if nxt == current:
+            break
+        current = nxt
+    return current
+
+
+def refine_detection_box(
+    image: np.ndarray,
+    rect: Rect,
+    iterations: int = 3,
+    min_probe: float = 14.0,
+    max_probe: float = 40.0,
+) -> Rect:
+    """Production refinement: gated, multi-strategy region snapping.
+
+    Grid regressors get centers nearly right but sizes badly wrong for
+    small widgets (sqrt-encoded sizes at 1/5 scale), so a single snap
+    seeded by the raw box often samples off-widget, captures only the
+    icon strokes, or merges into adjacent same-colored content.  Three
+    strategies run in order — iterated snap from the raw box, from a
+    canonical probe at the predicted center, and a strict (no gap
+    bridging, tight color distance) snap — and the first result passing
+    the :func:`_plausible` gate wins.  When everything fails the raw
+    box is returned: refinement must never invent detections.
+    """
+    candidates = []
+    first = _iterate_snap(image, rect, iterations)
+    if first != rect:
+        candidates.append((rect, first))
+    side_w = float(np.clip(rect.w, min_probe, max_probe))
+    side_h = float(np.clip(rect.h, min_probe, max_probe))
+    probe = Rect.from_center(*rect.center, side_w, side_h)
+    if rect.w < 90 and rect.h < 90:
+        second = _iterate_snap(image, probe, iterations)
+        if second != probe:
+            candidates.append((probe, second))
+        third = _iterate_snap(image, probe, iterations,
+                              max_seed_dist=0.22, bridge_gaps=False)
+        if third != probe:
+            candidates.append((probe, third))
+        fourth = _iterate_snap(image, probe, iterations,
+                               max_seed_dist=0.5, expand_frac=0.75)
+        if fourth != probe:
+            candidates.append((probe, fourth))
+    plausible = [refined for used_probe, refined in candidates
+                 if _plausible(rect, used_probe, refined)]
+    if plausible:
+        # Partial captures (an icon stroke instead of the whole button)
+        # are the dominant residual failure and are always undersized;
+        # the gate already rejects oversized merges, so prefer the
+        # largest surviving candidate.
+        return max(plausible, key=lambda r: r.area)
+    return rect
+
+
+def snap_box_to_region(
+    image: np.ndarray,
+    rect: Rect,
+    expand_frac: float = 0.55,
+    max_seed_dist: float = 0.38,
+    bridge_gaps: bool = True,
+    grad: Optional[np.ndarray] = None,
+) -> Rect:
+    """Refine ``rect`` to the extent of the color region under it."""
+    del grad  # unused; accepted for interface parity with the edge snap
+    h, w = image.shape[:2]
+    r = rect.clipped_to(Rect(0, 0, w, h))
+    if r.is_empty() or r.w < 3 or r.h < 3:
+        return rect
+
+    pad_x = max(4, int(r.w * expand_frac))
+    pad_y = max(4, int(r.h * expand_frac))
+    x0 = max(0, int(r.left) - pad_x)
+    x1 = min(w, int(np.ceil(r.right)) + pad_x)
+    y0 = max(0, int(r.top) - pad_y)
+    y1 = min(h, int(np.ceil(r.bottom)) + pad_y)
+    window = image[y0:y1, x0:x1].astype(np.float32)
+    wh, ww = window.shape[:2]
+    if wh < 6 or ww < 6:
+        return rect
+
+    # Widget colors: buttons are "background fill + icon/text strokes",
+    # so a single center sample would hit the stroke and segment only
+    # the glyph.  Take two seeds — the central patch (stroke color) and
+    # a mid-radius annulus (fill color) — and accept a pixel when it is
+    # close to either.
+    cx = int(r.center[0]) - x0
+    cy = int(r.center[1]) - y0
+    sx = max(1, int(r.w * 0.18))
+    sy = max(1, int(r.h * 0.18))
+    patch = window[max(0, cy - sy):cy + sy + 1, max(0, cx - sx):cx + sx + 1]
+    seed_center = np.median(patch.reshape(-1, 3), axis=0)
+    annulus = _annulus_pixels(window, cx, cy, r.w, r.h)
+    seed_fill = (np.median(annulus.reshape(-1, 3), axis=0)
+                 if annulus.size else seed_center)
+
+    # Background: median color of a ring hugging the predicted box
+    # (local surroundings, not the far window border — UI backgrounds
+    # change across a dialog card boundary).
+    ring_pixels = _ring_pixels(window, cx, cy, r.w, r.h)
+    if ring_pixels.size == 0:
+        return rect
+    bg = np.median(ring_pixels.reshape(-1, 3), axis=0)
+
+    sep_center = float(np.linalg.norm(seed_center - bg))
+    sep_fill = float(np.linalg.norm(seed_fill - bg))
+    if max(sep_center, sep_fill) < 0.05:
+        return rect  # widget is indistinguishable from its surroundings
+
+    d_bg = np.linalg.norm(window - bg, axis=-1)
+    d_seed = np.full_like(d_bg, np.inf)
+    for seed, sep in ((seed_center, sep_center), (seed_fill, sep_fill)):
+        if sep >= 0.05:  # a seed equal to the background segments nothing
+            d_seed = np.minimum(d_seed,
+                                np.linalg.norm(window - seed, axis=-1))
+    mask = (d_seed < d_bg) & (d_seed < max_seed_dist)
+
+    if bridge_gaps:
+        # Bridge small gaps (icon strokes, text glyphs inside widgets).
+        mask = ndimage.binary_closing(mask, structure=np.ones((3, 3)))
+    labeled, n_regions = ndimage.label(mask)
+    if n_regions == 0:
+        return rect
+    target = labeled[min(cy, wh - 1), min(cx, ww - 1)]
+    if target == 0:
+        # Center fell on an icon stroke; take the largest component that
+        # overlaps the central patch.
+        sub = labeled[max(0, cy - sy):cy + sy + 1, max(0, cx - sx):cx + sx + 1]
+        counts = np.bincount(sub.reshape(-1), minlength=n_regions + 1)
+        counts[0] = 0
+        if counts.max() == 0:
+            return rect
+        target = int(np.argmax(counts))
+
+    ys, xs = np.where(labeled == target)
+    # A component bleeding across the search window on both axes is the
+    # background itself, not the widget.
+    spans_x = xs.min() == 0 and xs.max() == ww - 1
+    spans_y = ys.min() == 0 and ys.max() == wh - 1
+    if spans_x and spans_y:
+        return rect
+    refined = Rect.from_corners(x0 + xs.min(), y0 + ys.min(),
+                                x0 + xs.max() + 1, y0 + ys.max() + 1)
+    # Reject drastic collapses/explosions — the regressor is coarse but
+    # not wrong by more than the search window.
+    if refined.area < 0.2 * rect.area or refined.area > 5.0 * rect.area:
+        return rect
+    return refined
+
+
+def _annulus_pixels(window: np.ndarray, cx: int, cy: int,
+                    box_w: float, box_h: float) -> np.ndarray:
+    """Pixels between ~55% and ~85% of the box half-extent — the fill
+    region of a button, outside any central icon/text strokes."""
+    wh, ww = window.shape[:2]
+    in_x, in_y = int(box_w * 0.28), int(box_h * 0.28)
+    out_x, out_y = max(in_x + 1, int(box_w * 0.42)), max(in_y + 1, int(box_h * 0.42))
+    ys = np.arange(wh)[:, None]
+    xs = np.arange(ww)[None, :]
+    outside_inner = (np.abs(xs - cx) > in_x) | (np.abs(ys - cy) > in_y)
+    inside_outer = (np.abs(xs - cx) <= out_x) & (np.abs(ys - cy) <= out_y)
+    return window[outside_inner & inside_outer]
+
+
+def _ring_pixels(window: np.ndarray, cx: int, cy: int,
+                 box_w: float, box_h: float) -> np.ndarray:
+    """Pixels in a thin ring just outside the predicted box."""
+    wh, ww = window.shape[:2]
+    inner_x = int(box_w * 0.62)
+    inner_y = int(box_h * 0.62)
+    outer_x = inner_x + max(2, int(box_w * 0.2))
+    outer_y = inner_y + max(2, int(box_h * 0.2))
+    ys = np.arange(wh)[:, None]
+    xs = np.arange(ww)[None, :]
+    outside_inner = (np.abs(xs - cx) > inner_x) | (np.abs(ys - cy) > inner_y)
+    inside_outer = (np.abs(xs - cx) <= outer_x) & (np.abs(ys - cy) <= outer_y)
+    sel = outside_inner & inside_outer
+    return window[sel]
+
+
+def _best_line(profile: np.ndarray, lo: int, hi: int, anchor: int,
+               min_strength: float, bias: float = 0.02) -> int:
+    """Index in [lo, hi) with the strongest profile, lightly biased
+    towards the regressor's ``anchor``; anchor wins when nothing is
+    strong enough."""
+    lo = max(0, lo)
+    hi = min(len(profile), hi)
+    if hi <= lo:
+        return anchor
+    window = profile[lo:hi].astype(np.float64).copy()
+    if window.max() < min_strength:
+        return anchor
+    idxs = np.arange(lo, hi)
+    window -= bias * window.max() * np.abs(idxs - anchor) / max(1, hi - lo)
+    return int(idxs[int(np.argmax(window))])
+
+
+def snap_box_to_edges(
+    image: np.ndarray,
+    rect: Rect,
+    search_frac: float = 0.45,
+    min_strength: float = 0.12,
+    grad: Optional[np.ndarray] = None,
+) -> Rect:
+    """Gradient-profile edge snapping (the ablation alternative).
+
+    Each edge searches within ``search_frac`` of the box dimension for
+    the row/column whose mean gradient across the box extent is maximal;
+    weak-gradient regions keep the regressed edge.
+    """
+    h, w = image.shape[:2]
+    r = rect.clipped_to(Rect(0, 0, w, h))
+    if r.is_empty() or r.w < 2 or r.h < 2:
+        return rect
+    if grad is None:
+        grad = gradient_magnitude(image)
+
+    pad_x = max(3, int(r.w * search_frac))
+    pad_y = max(3, int(r.h * search_frac))
+    x0 = max(0, int(r.left) - pad_x)
+    x1 = min(w, int(r.right) + pad_x)
+    y0 = max(0, int(r.top) - pad_y)
+    y1 = min(h, int(r.bottom) + pad_y)
+    region = grad[y0:y1, x0:x1]
+    if region.size == 0:
+        return rect
+
+    bx0 = int(r.left) - x0
+    bx1 = int(np.ceil(r.right)) - x0
+    by0 = int(r.top) - y0
+    by1 = int(np.ceil(r.bottom)) - y0
+    col_profile = region[max(0, by0):max(1, by1), :].mean(axis=0)
+    row_profile = region[:, max(0, bx0):max(1, bx1)].mean(axis=1)
+
+    left = _best_line(col_profile, 0, bx0 + pad_x + 1, bx0, min_strength)
+    right = _best_line(col_profile, bx1 - pad_x - 1, len(col_profile),
+                       min(bx1, len(col_profile) - 1), min_strength)
+    top = _best_line(row_profile, 0, by0 + pad_y + 1, by0, min_strength)
+    bottom = _best_line(row_profile, by1 - pad_y - 1, len(row_profile),
+                        min(by1, len(row_profile) - 1), min_strength)
+
+    if right <= left + 1 or bottom <= top + 1:
+        return rect
+    refined = Rect.from_corners(x0 + left, y0 + top, x0 + right + 1,
+                                y0 + bottom + 1)
+    if refined.area < 0.25 * rect.area or refined.area > 4.0 * rect.area:
+        return rect
+    return refined

@@ -1,0 +1,120 @@
+"""Tests for the window-stack renderer."""
+
+import numpy as np
+import pytest
+
+from repro.android import (
+    Device,
+    LayoutParams,
+    Screen,
+    View,
+    WindowManager,
+    render_screen,
+    render_window,
+)
+from repro.android.view import Shape
+from repro.geometry import Rect
+from repro.imaging.color import PALETTE
+
+
+@pytest.fixture
+def wm():
+    return WindowManager(Screen())
+
+
+def colored_root(color_name="blue", w=360, h=568):
+    return View(bounds=Rect(0, 0, w, h), bg_color=PALETTE[color_name])
+
+
+class TestRenderScreen:
+    def test_output_shape(self, wm):
+        wm.attach_app_window(colored_root(), "com.demo")
+        canvas = render_screen(wm)
+        assert canvas.pixels.shape == (640, 360, 3)
+
+    def test_windowed_app_shows_status_bar(self, wm):
+        wm.attach_app_window(colored_root("white"), "com.demo", fullscreen=False)
+        canvas = render_screen(wm)
+        # Status bar is dark; app content below it is white.
+        assert canvas.pixels[4, 180].mean() < 0.3
+        assert canvas.pixels[100, 180].mean() > 0.9
+
+    def test_fullscreen_app_hides_bars(self, wm):
+        root = colored_root("white", h=640)
+        wm.attach_app_window(root, "com.demo", fullscreen=True)
+        canvas = render_screen(wm)
+        assert canvas.pixels[4, 180].mean() > 0.9
+        assert canvas.pixels[636, 180].mean() > 0.9
+
+    def test_app_content_offset_by_status_bar(self, wm):
+        root = View(bounds=Rect(0, 0, 360, 568), bg_color=PALETTE["white"])
+        # Red box at window (0, 0): on screen it must start at y=24.
+        root.add_child(View(bounds=Rect(0, 0, 50, 10), bg_color=PALETTE["red"]))
+        wm.attach_app_window(root, "com.demo", fullscreen=False)
+        canvas = render_screen(wm)
+        px = canvas.pixels[29, 25]  # y=24..34 should be red
+        assert px[0] > 0.6 and px[1] < 0.4
+
+    def test_overlay_rendered_above_app(self, wm):
+        wm.attach_app_window(colored_root("white"), "com.demo")
+        deco = View(bounds=Rect(0, 0, 1, 1), bg_color=PALETTE["green"])
+        wm.add_view(deco, LayoutParams(x=100, y=100, width=40, height=40),
+                    "org.repro.darpa")
+        canvas = render_screen(wm)
+        px = canvas.pixels[24 + 120, 120]  # overlay shares app insets
+        assert px[1] > 0.5 and px[0] < 0.5
+
+    def test_noise_applied_when_rng_given(self, wm):
+        wm.attach_app_window(colored_root("white"), "com.demo")
+        a = render_screen(wm).pixels
+        b = render_screen(wm, noise_rng=np.random.default_rng(0)).pixels
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_without_noise(self, wm):
+        wm.attach_app_window(colored_root(), "com.demo")
+        a = render_screen(wm).pixels
+        b = render_screen(wm).pixels
+        assert np.array_equal(a, b)
+
+
+class TestViewStyling:
+    def test_text_rendered(self, wm):
+        root = colored_root("white")
+        root.add_child(View(bounds=Rect(50, 200, 260, 40), text="Subscribe Now",
+                            text_size=16, text_color=PALETTE["black"]))
+        wm.attach_app_window(root, "com.demo")
+        canvas = render_screen(wm)
+        region = canvas.pixels[224:264, 50:310]
+        assert region.min() < 0.15
+
+    def test_circle_shape(self, wm):
+        root = colored_root("white")
+        root.add_child(View(bounds=Rect(100, 100, 80, 80), shape=Shape.CIRCLE,
+                            bg_color=PALETTE["red"]))
+        wm.attach_app_window(root, "com.demo", fullscreen=True)
+        canvas = render_screen(wm)
+        assert canvas.pixels[140, 140, 0] > 0.6      # center red
+        assert canvas.pixels[104, 104].mean() > 0.9  # corner stays white
+
+    def test_cross_icon(self, wm):
+        root = colored_root("white")
+        root.add_child(View(bounds=Rect(300, 20, 30, 30), icon="cross",
+                            icon_color=PALETTE["dark_gray"]))
+        wm.attach_app_window(root, "com.demo", fullscreen=True)
+        canvas = render_screen(wm)
+        assert canvas.pixels[35, 315].mean() < 0.6  # icon center darkened
+
+    def test_alpha_translucency(self, wm):
+        root = colored_root("white")
+        root.add_child(View(bounds=Rect(0, 0, 360, 100),
+                            bg_color=PALETTE["black"], bg_alpha=0.25))
+        wm.attach_app_window(root, "com.demo", fullscreen=True)
+        canvas = render_screen(wm)
+        assert canvas.pixels[50, 180].mean() == pytest.approx(0.75, abs=0.02)
+
+    def test_render_window_single(self):
+        screen = Screen()
+        wm = WindowManager(screen)
+        window = wm.attach_app_window(colored_root("teal"), "com.demo")
+        canvas = render_window(window, screen)
+        assert canvas.pixels.shape == (640, 360, 3)

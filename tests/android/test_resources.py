@@ -1,0 +1,59 @@
+"""Tests for resource-id minting and obfuscation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.resources import (
+    ResourceId,
+    ResourceIdPolicy,
+    make_resource_id,
+    obfuscate_entry,
+)
+
+
+class TestResourceId:
+    def test_qualified_format(self):
+        rid = ResourceId("com.demo", "btn_close")
+        assert str(rid) == "com.demo:id/btn_close"
+        assert rid.qualified == "com.demo:id/btn_close"
+
+
+class TestPolicies:
+    def test_readable_keeps_entry(self):
+        rid = make_resource_id("com.a", "iv_close", ResourceIdPolicy.READABLE)
+        assert rid.entry == "iv_close"
+
+    def test_obfuscated_hides_entry(self):
+        rng = np.random.default_rng(0)
+        rid = make_resource_id("com.a", "iv_close",
+                               ResourceIdPolicy.OBFUSCATED, rng)
+        assert "close" not in rid.entry
+        assert len(rid.entry) == 3
+
+    def test_dynamic_is_numeric_suffixed(self):
+        rng = np.random.default_rng(0)
+        rid = make_resource_id("com.a", "iv_close",
+                               ResourceIdPolicy.DYNAMIC, rng)
+        assert rid.entry.startswith("v_")
+        assert rid.entry[2:].isdigit()
+
+    def test_non_readable_requires_rng(self):
+        with pytest.raises(ValueError):
+            make_resource_id("com.a", "x", ResourceIdPolicy.OBFUSCATED)
+
+    @given(entry=st.text(alphabet="abcdefgh_", min_size=1, max_size=20),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_obfuscation_never_leaks_readable_name(self, entry, seed):
+        rng = np.random.default_rng(seed)
+        obfuscated = obfuscate_entry(entry, rng)
+        # A 3-char lowercase+digit name cannot contain a 4+-char token.
+        assert len(obfuscated) == 3
+        if len(entry) >= 4:
+            assert entry not in obfuscated
+
+    def test_obfuscation_varies_across_calls(self):
+        rng = np.random.default_rng(1)
+        names = {obfuscate_entry("btn_close", rng) for _ in range(30)}
+        assert len(names) > 10

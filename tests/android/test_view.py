@@ -1,0 +1,103 @@
+"""Tests for views and view trees."""
+
+import pytest
+
+from repro.android import ResourceId, SemanticRole, View, ViewGroup, Visibility
+from repro.geometry import Rect
+
+
+def small_tree():
+    root = ViewGroup(bounds=Rect(0, 0, 360, 568))
+    card = root.add_child(View(bounds=Rect(30, 100, 300, 360)))
+    ago = card.add_child(
+        View(bounds=Rect(80, 300, 200, 56), clickable=True,
+             role=SemanticRole.AGO,
+             resource_id=ResourceId("com.demo", "btn_subscribe"))
+    )
+    upo = root.add_child(
+        View(bounds=Rect(320, 70, 20, 20), clickable=True,
+             role=SemanticRole.UPO,
+             resource_id=ResourceId("com.demo", "iv_close"))
+    )
+    return root, card, ago, upo
+
+
+class TestTreeOps:
+    def test_iter_tree_preorder(self):
+        root, card, ago, upo = small_tree()
+        assert [v.view_id for v in root.iter_tree()] == [
+            root.view_id, card.view_id, ago.view_id, upo.view_id
+        ]
+
+    def test_gone_subtree_skipped(self):
+        root, card, ago, upo = small_tree()
+        card.visibility = Visibility.GONE
+        ids = [v.view_id for v in root.iter_tree()]
+        assert ago.view_id not in ids and card.view_id not in ids
+
+    def test_invisible_in_tree_but_not_visible(self):
+        root, card, ago, _ = small_tree()
+        ago.visibility = Visibility.INVISIBLE
+        assert ago in list(root.iter_tree())
+        assert ago not in list(root.iter_visible())
+
+    def test_find_by_role(self):
+        root, _, ago, upo = small_tree()
+        assert root.find_by_role(SemanticRole.AGO) == [ago]
+        assert root.find_by_role(SemanticRole.UPO) == [upo]
+
+    def test_find_by_resource_entry(self):
+        root, _, _, upo = small_tree()
+        assert root.find_by_resource_entry("close") == [upo]
+        assert root.find_by_resource_entry("nonexistent") == []
+
+    def test_count_and_depth(self):
+        root, *_ = small_tree()
+        assert root.count() == 4
+        assert root.depth() == 3
+
+    def test_unique_view_ids(self):
+        root, *_ = small_tree()
+        ids = [v.view_id for v in root.iter_tree()]
+        assert len(set(ids)) == len(ids)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            View(bounds=Rect(0, 0, 1, 1), bg_alpha=1.5)
+
+
+class TestHitTest:
+    def test_hits_deepest_clickable(self):
+        root, _, ago, _ = small_tree()
+        assert root.hit_test(150, 320) is ago
+
+    def test_nonclickable_parent_not_hit(self):
+        root, *_ = small_tree()
+        # Point inside card but outside any clickable child.
+        assert root.hit_test(50, 150) is None
+
+    def test_later_sibling_wins_overlap(self):
+        root = ViewGroup(bounds=Rect(0, 0, 100, 100))
+        under = root.add_child(View(bounds=Rect(0, 0, 50, 50), clickable=True))
+        over = root.add_child(View(bounds=Rect(0, 0, 50, 50), clickable=True))
+        assert root.hit_test(25, 25) is over
+        assert under is not over
+
+    def test_invisible_view_not_hit(self):
+        root, _, ago, _ = small_tree()
+        ago.visibility = Visibility.INVISIBLE
+        assert root.hit_test(150, 320) is None
+
+    def test_out_of_bounds_misses(self):
+        root, *_ = small_tree()
+        assert root.hit_test(-5, -5) is None
+
+    def test_click_runs_handler(self):
+        calls = []
+        v = View(bounds=Rect(0, 0, 10, 10), clickable=True,
+                 on_click=lambda: calls.append(1))
+        assert v.click()
+        assert calls == [1]
+
+    def test_click_without_handler_returns_false(self):
+        assert not View(bounds=Rect(0, 0, 10, 10), clickable=True).click()

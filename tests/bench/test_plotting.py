@@ -1,0 +1,46 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plotting import ascii_line_chart
+
+
+class TestAsciiLineChart:
+    def test_basic_render(self):
+        chart = ascii_line_chart(
+            {"events": [100, 80, 40, 30], "auis": [50, 49, 47, 40]},
+            x_labels=["50", "100", "200", "500"],
+        )
+        lines = chart.splitlines()
+        assert any(l.startswith("+---") for l in lines)
+        assert "* events" in chart
+        assert "o auis" in chart
+        assert "[30 .. 100]" in chart
+
+    def test_title_first_line(self):
+        chart = ascii_line_chart({"s": [1, 2]}, ["a", "b"], title="My Title")
+        assert chart.splitlines()[0] == "My Title"
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({}, [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": [1, 2, 3]}, ["a", "b"])
+
+    def test_rejects_tiny_height(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": [1, 2]}, ["a", "b"], height=2)
+
+    def test_constant_series_renders(self):
+        chart = ascii_line_chart({"flat": [5, 5, 5]}, ["a", "b", "c"])
+        assert chart.count("*") >= 3
+
+    def test_monotone_series_markers_descend(self):
+        chart = ascii_line_chart({"down": [10, 5, 0]}, ["a", "b", "c"],
+                                 height=5)
+        rows = [i for i, line in enumerate(chart.splitlines())
+                if "*" in line]
+        assert rows == sorted(rows)
+        assert len(set(rows)) >= 2

@@ -1,0 +1,76 @@
+"""Property-based tests of the cut-off debouncer invariant.
+
+The debouncer's contract: for an arbitrary stream of UI-update events,
+it fires exactly once per maximal quiet gap of at least ``ct``
+milliseconds following at least one event (including the final gap).
+"""
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.android import AccessibilityEventType, SimulatedClock
+from repro.android.events import AccessibilityEvent
+from repro.core import CutoffDebouncer
+
+gaps = st.lists(st.floats(min_value=1.0, max_value=1000.0,
+                          allow_nan=False), min_size=1, max_size=30)
+cts = st.sampled_from([50.0, 200.0, 500.0])
+
+
+def expected_firings(gap_list: List[float], ct: float) -> int:
+    """Count maximal quiet gaps >= ct after at least one event.
+
+    ``gap_list[i]`` is the silence after event ``i`` (the last gap runs
+    to the end of the run, which we extend beyond ct).
+    """
+    count = 0
+    for gap in gap_list[:-1]:
+        if gap >= ct:
+            count += 1
+    # The stream ends with a long settle window (see test), so the last
+    # event always produces one more firing.
+    return count + 1
+
+
+class TestDebouncerInvariant:
+    @given(gap_list=gaps, ct=cts)
+    @settings(max_examples=60, deadline=None)
+    def test_fires_once_per_quiet_gap(self, gap_list, ct):
+        clock = SimulatedClock()
+        fired = []
+        deb = CutoffDebouncer(clock, ct, fired.append)
+        for gap in gap_list:
+            deb.feed(AccessibilityEvent(
+                event_type=AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED,
+                package="com.x", timestamp_ms=clock.now_ms))
+            clock.advance(gap)
+        clock.advance(ct + 1.0)  # guarantee the final settle
+        # Timer semantics: a gap of exactly ct fires (schedule at ct,
+        # advance reaches it); gaps below ct are suppressed.
+        assert len(fired) == expected_firings(gap_list, ct)
+
+    @given(gap_list=gaps, ct=cts)
+    @settings(max_examples=30, deadline=None)
+    def test_event_counter_total(self, gap_list, ct):
+        clock = SimulatedClock()
+        deb = CutoffDebouncer(clock, ct, lambda e: None)
+        for gap in gap_list:
+            deb.feed(AccessibilityEvent(
+                event_type=AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED,
+                package="com.x", timestamp_ms=clock.now_ms))
+            clock.advance(gap)
+        assert deb.events_seen == len(gap_list)
+
+    @given(gap_list=gaps)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_ct_fires_per_event(self, gap_list):
+        clock = SimulatedClock()
+        fired = []
+        deb = CutoffDebouncer(clock, 0.0, fired.append)
+        for gap in gap_list:
+            deb.feed(AccessibilityEvent(
+                event_type=AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED,
+                package="com.x", timestamp_ms=clock.now_ms))
+            clock.advance(gap)
+        assert len(fired) == len(gap_list)

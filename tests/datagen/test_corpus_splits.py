@@ -1,0 +1,149 @@
+"""Tests for corpus assembly, Table II splitting, COCO export, masking."""
+
+import numpy as np
+import pytest
+
+from repro.android.resources import ResourceIdPolicy
+from repro.datagen import (
+    AuiType,
+    TABLE1_QUOTAS,
+    build_app_dataset,
+    build_corpus,
+    mask_option_texts,
+    split_corpus,
+    to_coco,
+)
+from repro.datagen.corpus import render_state
+from repro.datagen.splits import SplitInfeasibleError, split_summary
+from repro.geometry import Rect
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(seed=0, n_negatives=60)
+
+
+@pytest.fixture(scope="module")
+def splits(corpus):
+    return split_corpus(corpus, seed=0)
+
+
+class TestAppDataset:
+    def test_632_apps(self):
+        apps = build_app_dataset(seed=0)
+        assert len(apps) == 632
+
+    def test_unique_packages(self):
+        apps = build_app_dataset(seed=0)
+        assert len({a.package for a in apps}) == len(apps)
+
+    def test_policy_mix_dominated_by_obfuscation(self):
+        apps = build_app_dataset(seed=0)
+        readable = sum(a.id_policy is ResourceIdPolicy.READABLE for a in apps)
+        assert readable / len(apps) < 0.3
+
+    def test_deterministic(self):
+        assert build_app_dataset(seed=5) == build_app_dataset(seed=5)
+
+
+class TestCorpus:
+    def test_type_distribution_matches_table1(self, corpus):
+        assert corpus.type_distribution() == TABLE1_QUOTAS
+
+    def test_box_totals(self, corpus):
+        assert corpus.box_totals() == (744, 1102)
+
+    def test_layout_statistics_near_paper(self, corpus):
+        stats = corpus.layout_statistics()
+        assert stats["ago_central"] == pytest.approx(0.946, abs=0.002)
+        assert stats["upo_corner"] == pytest.approx(0.731, abs=0.002)
+        assert stats["first_party"] == pytest.approx(0.351, abs=0.002)
+
+    def test_source_mix(self, corpus):
+        monkey = sum(1 for s in corpus.samples if s.source == "monkey")
+        assert monkey / len(corpus.samples) == pytest.approx(7884 / 8855, abs=0.01)
+
+    def test_negatives_include_benign_close(self, corpus):
+        benign = [n for n in corpus.negatives if "benign" in n.name]
+        assert len(benign) == 20  # every third of 60
+
+    def test_samples_lazy_then_cached(self, corpus):
+        sample = corpus.samples[0]
+        assert sample._screen is None or sample._screen is not None  # no crash
+        first = sample.screen
+        assert sample.screen is first
+
+
+class TestSplits:
+    def test_split_counts_match_table2(self, splits):
+        assert split_summary(splits) == {
+            "train": (642, 453, 657),
+            "val": (215, 150, 223),
+            "test": (215, 141, 222),
+        }
+
+    def test_splits_are_a_partition(self, corpus, splits):
+        seen = [s.spec.index for part in splits.values() for s in part]
+        assert sorted(seen) == [s.spec.index for s in corpus.samples]
+
+    def test_different_seeds_give_different_partitions(self, corpus):
+        a = split_corpus(corpus, seed=0)
+        b = split_corpus(corpus, seed=1)
+        ids_a = [s.spec.index for s in a["test"]]
+        ids_b = [s.spec.index for s in b["test"]]
+        assert ids_a != ids_b
+
+    def test_wrong_corpus_size_rejected(self, corpus):
+        import dataclasses
+        small = dataclasses.replace(corpus, samples=corpus.samples[:100])
+        with pytest.raises(SplitInfeasibleError):
+            split_corpus(small)
+
+
+class TestCocoExport:
+    def test_schema_and_counts(self, splits):
+        part = splits["test"][:20]
+        coco = to_coco(part)
+        assert {c["name"] for c in coco["categories"]} == {"AGO", "UPO"}
+        assert len(coco["images"]) == 20
+        expected_boxes = sum(
+            int(s.spec.has_ago) + s.spec.n_upo for s in part)
+        assert len(coco["annotations"]) == expected_boxes
+
+    def test_bbox_is_xywh_with_positive_area(self, splits):
+        coco = to_coco(splits["val"][:10])
+        for ann in coco["annotations"]:
+            x, y, w, h = ann["bbox"]
+            assert w > 0 and h > 0
+            assert ann["area"] == pytest.approx(w * h)
+
+    def test_image_ids_referenced(self, splits):
+        coco = to_coco(splits["val"][:10])
+        image_ids = {img["id"] for img in coco["images"]}
+        assert all(a["image_id"] in image_ids for a in coco["annotations"])
+
+
+class TestMasking:
+    def test_masks_only_option_regions(self, corpus):
+        sample = next(s for s in corpus.samples if s.spec.has_ago)
+        img, labels = render_state(sample.screen)
+        masked = mask_option_texts(img, labels)
+        ago = dict(labels)["AGO"]
+        y0, y1 = int(ago.top) + 4, int(ago.bottom) - 4
+        x0, x1 = int(ago.left) + 4, int(ago.right) - 4
+        assert not np.array_equal(masked[y0:y1, x0:x1], img[y0:y1, x0:x1])
+        # A far-away corner is untouched.
+        assert np.array_equal(masked[:10, :10], img[:10, :10])
+
+    def test_mask_reduces_interior_detail(self, corpus):
+        sample = next(s for s in corpus.samples if s.spec.has_ago)
+        img, labels = render_state(sample.screen)
+        masked = mask_option_texts(img, labels)
+        ago = dict(labels)["AGO"]
+        y0, y1 = int(ago.top) + 6, int(ago.bottom) - 6
+        x0, x1 = int(ago.left) + 6, int(ago.right) - 6
+        assert masked[y0:y1, x0:x1].std() < img[y0:y1, x0:x1].std() + 1e-6
+
+    def test_rejects_bad_shrink(self):
+        with pytest.raises(ValueError):
+            mask_option_texts(np.zeros((10, 10, 3)), [], shrink=0.7)

@@ -1,0 +1,72 @@
+"""Tests for the dataset release exporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_corpus
+from repro.datagen.export import export_dataset, read_ppm, write_ppm
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return build_corpus(seed=0, n_negatives=0).samples[:6]
+
+
+class TestPpmRoundtrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        img = rng.random((20, 30, 3)).astype(np.float32)
+        path = tmp_path / "x.ppm"
+        write_ppm(path, img)
+        back = read_ppm(path)
+        assert back.shape == (20, 30, 3)
+        assert np.abs(back - img).max() < 1 / 255 + 1e-6
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError):
+            read_ppm(path)
+
+    def test_values_clipped(self, tmp_path):
+        img = np.full((4, 4, 3), 2.0, dtype=np.float32)
+        path = tmp_path / "c.ppm"
+        write_ppm(path, img)
+        assert read_ppm(path).max() <= 1.0
+
+
+class TestExportDataset:
+    def test_release_layout(self, tmp_path, samples):
+        out = tmp_path / "release"
+        counts = export_dataset(samples, out)
+        assert counts["images"] == len(samples)
+        ppms = sorted((out / "images").glob("*.ppm"))
+        assert len(ppms) == len(samples)
+        coco = json.loads((out / "annotations.json").read_text())
+        assert len(coco["images"]) == len(samples)
+        assert all(img["file_name"].endswith(".ppm")
+                   for img in coco["images"])
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["images"] == len(samples)
+        assert set(manifest["classes"].values()) == {"AGO", "UPO"}
+
+    def test_limit(self, tmp_path, samples):
+        counts = export_dataset(samples, tmp_path / "lim", limit=3)
+        assert counts["images"] == 3
+
+    def test_masked_export_differs(self, tmp_path, samples):
+        export_dataset(samples[:2], tmp_path / "plain")
+        export_dataset(samples[:2], tmp_path / "masked", masked=True)
+        a = read_ppm(next((tmp_path / "plain" / "images").glob("*.ppm")))
+        b = read_ppm(next((tmp_path / "masked" / "images").glob("*.ppm")))
+        assert not np.array_equal(a, b)
+
+    def test_images_loadable_and_plausible(self, tmp_path, samples):
+        out = tmp_path / "rel"
+        export_dataset(samples, out, limit=2)
+        for path in (out / "images").glob("*.ppm"):
+            img = read_ppm(path)
+            assert img.shape == (640, 360, 3)
+            assert 0.05 < img.mean() < 0.95  # not blank, not saturated

@@ -1,0 +1,78 @@
+"""Tests for quota-driven sample specs."""
+
+import pytest
+
+from repro.datagen import AuiType, SampleSpec, TABLE1_QUOTAS, make_sample_specs
+from repro.datagen.specs import (
+    FRACTION_AGO_CENTRAL,
+    FRACTION_UPO_CORNER,
+    TOTAL_AGO_BOXES,
+    TOTAL_AUI_SAMPLES,
+    TOTAL_UPO_BOXES,
+)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return make_sample_specs(seed=0)
+
+
+class TestQuotas:
+    def test_total_sample_count(self, specs):
+        assert len(specs) == TOTAL_AUI_SAMPLES == 1072
+
+    def test_table1_type_quotas_exact(self, specs):
+        for aui_type, quota in TABLE1_QUOTAS.items():
+            assert sum(1 for s in specs if s.aui_type is aui_type) == quota
+
+    def test_ago_box_total_exact(self, specs):
+        assert sum(1 for s in specs if s.has_ago) == TOTAL_AGO_BOXES == 744
+
+    def test_upo_box_total_exact(self, specs):
+        assert sum(s.n_upo for s in specs) == TOTAL_UPO_BOXES == 1102
+
+    def test_every_sample_annotatable(self, specs):
+        for s in specs:
+            assert s.has_ago or s.n_upo > 0
+
+    def test_layout_fractions(self, specs):
+        with_ago = [s for s in specs if s.has_ago]
+        central = sum(s.ago_central for s in with_ago) / len(with_ago)
+        assert central == pytest.approx(FRACTION_AGO_CENTRAL, abs=0.002)
+        with_upo = [s for s in specs if s.n_upo > 0]
+        corner = sum(s.upo_corner for s in with_upo) / len(with_upo)
+        assert corner == pytest.approx(FRACTION_UPO_CORNER, abs=0.002)
+
+    def test_deterministic_per_seed(self):
+        a = make_sample_specs(seed=3)
+        b = make_sample_specs(seed=3)
+        assert a == b
+
+    def test_different_seed_shuffles(self):
+        a = make_sample_specs(seed=0)
+        b = make_sample_specs(seed=1)
+        assert a != b
+
+    def test_indices_sequential(self, specs):
+        assert [s.index for s in specs] == list(range(len(specs)))
+
+    def test_hard_upo_only_when_upo_present(self, specs):
+        for s in specs:
+            if s.hard_upo:
+                assert s.n_upo > 0
+
+
+class TestSampleSpecValidation:
+    def test_rejects_bad_upo_count(self):
+        with pytest.raises(ValueError):
+            SampleSpec(index=0, aui_type=AuiType.ADVERTISEMENT, has_ago=True,
+                       n_upo=3, ago_central=True, upo_corner=True,
+                       fullscreen=False, first_party=False, hard_upo=False,
+                       style_seed=1)
+
+    def test_rejects_unannotatable(self):
+        with pytest.raises(ValueError):
+            SampleSpec(index=0, aui_type=AuiType.ADVERTISEMENT, has_ago=False,
+                       n_upo=0, ago_central=False, upo_corner=False,
+                       fullscreen=False, first_party=False, hard_upo=False,
+                       style_seed=1)

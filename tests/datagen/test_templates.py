@@ -1,0 +1,175 @@
+"""Tests for the AUI and non-AUI screen templates."""
+
+import numpy as np
+import pytest
+
+from repro.android import SemanticRole
+from repro.android.resources import ResourceIdPolicy
+from repro.datagen import AuiType, build_aui_screen, build_non_aui_screen
+from repro.datagen.corpus import render_state
+from repro.datagen.specs import SampleSpec
+from repro.geometry import Rect
+from repro.imaging.color import Color, contrast_ratio
+
+
+def spec_for(aui_type, *, has_ago=True, n_upo=1, central=True, corner=True,
+             fullscreen=False, hard=False, seed=1234):
+    return SampleSpec(
+        index=0, aui_type=aui_type, has_ago=has_ago, n_upo=n_upo,
+        ago_central=central, upo_corner=corner, fullscreen=fullscreen,
+        first_party=False, hard_upo=hard, style_seed=seed,
+    )
+
+
+ALL_TYPES = list(AuiType)
+
+
+class TestAuiTemplates:
+    @pytest.mark.parametrize("aui_type", ALL_TYPES)
+    def test_every_type_builds_and_labels(self, aui_type):
+        state = build_aui_screen(spec_for(aui_type))
+        assert state.is_aui
+        roles = [r for r, _ in state.label_boxes]
+        assert roles.count("AGO") == 1
+        assert roles.count("UPO") == 1
+
+    @pytest.mark.parametrize("aui_type", ALL_TYPES)
+    def test_label_boxes_match_view_roles(self, aui_type):
+        state = build_aui_screen(spec_for(aui_type, seed=77))
+        ago_views = state.root.find_by_role(SemanticRole.AGO)
+        upo_views = state.root.find_by_role(SemanticRole.UPO)
+        assert len(ago_views) == 1 and len(upo_views) == 1
+        assert state.boxes_of("AGO") == [ago_views[0].bounds]
+        assert state.boxes_of("UPO") == [upo_views[0].bounds]
+
+    def test_no_ago_spec_annotates_none(self):
+        state = build_aui_screen(spec_for(AuiType.ADVERTISEMENT, has_ago=False))
+        assert state.boxes_of("AGO") == []
+        assert state.root.find_by_role(SemanticRole.AGO) == []
+        assert state.root.clickable  # whole surface acts as the AGO
+
+    def test_two_upos(self):
+        state = build_aui_screen(spec_for(AuiType.SALES_PROMOTION, n_upo=2))
+        assert len(state.boxes_of("UPO")) == 2
+
+    def test_asymmetry_ago_much_larger_than_upo(self):
+        for seed in (1, 2, 3, 4, 5):
+            state = build_aui_screen(spec_for(AuiType.ADVERTISEMENT, seed=seed))
+            ago = state.boxes_of("AGO")[0]
+            upo = state.boxes_of("UPO")[0]
+            assert ago.area > 4 * upo.area
+
+    def test_central_ago_near_center(self):
+        for seed in range(5):
+            state = build_aui_screen(
+                spec_for(AuiType.SALES_PROMOTION, central=True, seed=seed))
+            cx, cy = state.boxes_of("AGO")[0].center
+            assert 100 < cx < 260
+            assert 150 < cy < 420
+
+    def test_corner_upo_near_edge(self):
+        for seed in range(8):
+            state = build_aui_screen(
+                spec_for(AuiType.ADVERTISEMENT, corner=True, seed=seed))
+            rect = state.boxes_of("UPO")[0]
+            cx, cy = rect.center
+            near_x = cx < 80 or cx > 280
+            near_y = cy < 70 or cy > 480
+            assert near_x or near_y, f"seed {seed}: UPO at {rect.center}"
+
+    def test_options_do_not_overlap(self):
+        for seed in range(10):
+            state = build_aui_screen(
+                spec_for(AuiType.LUCKY_MONEY, n_upo=2, seed=seed))
+            boxes = [r for _, r in state.label_boxes]
+            for i, a in enumerate(boxes):
+                for b in boxes[i + 1:]:
+                    assert a.intersection(b).is_empty()
+
+    def test_deterministic_for_same_spec(self):
+        s = spec_for(AuiType.APP_UPGRADE, seed=99)
+        a = build_aui_screen(s)
+        b = build_aui_screen(s)
+        assert a.label_boxes == b.label_boxes
+
+    def test_obfuscated_policy_hides_readable_ids(self):
+        state = build_aui_screen(
+            spec_for(AuiType.ADVERTISEMENT, seed=5),
+            id_policy=ResourceIdPolicy.OBFUSCATED,
+        )
+        assert state.root.find_by_resource_entry("close") == []
+        assert state.root.find_by_resource_entry("btn_action") == []
+
+    def test_readable_policy_keeps_ids(self):
+        state = build_aui_screen(
+            spec_for(AuiType.ADVERTISEMENT, seed=5),
+            id_policy=ResourceIdPolicy.READABLE,
+        )
+        upo_views = state.root.find_by_role(SemanticRole.UPO)
+        assert upo_views[0].resource_id is not None
+        entry = upo_views[0].resource_id.entry
+        assert any(k in entry for k in ("close", "skip", "cancel"))
+
+
+class TestRenderedAsymmetry:
+    """Visual (pixel-level) properties that the CV model relies on."""
+
+    def test_ago_is_salient_upo_is_not(self):
+        state = build_aui_screen(spec_for(AuiType.SALES_PROMOTION, seed=11))
+        img, labels = render_state(state)
+        by_role = dict((r, rect) for r, rect in labels)
+        ago, upo = by_role["AGO"], by_role["UPO"]
+
+        def region_mean(rect):
+            y0, y1 = int(rect.top), int(rect.bottom)
+            x0, x1 = int(rect.left), int(rect.right)
+            return Color.from_array(img[y0:y1, x0:x1].reshape(-1, 3).mean(axis=0))
+
+        def surround_mean(rect):
+            outer = rect.inflated(22)
+            return Color.from_array(img[
+                max(0, int(outer.top)):int(outer.bottom),
+                max(0, int(outer.left)):int(outer.right)].reshape(-1, 3).mean(axis=0))
+
+        # Salience combines contrast with footprint: a small close
+        # button may sit on a dark scrim (locally contrasty) yet still
+        # be far less salient than the huge accent-colored AGO.
+        ago_salience = contrast_ratio(region_mean(ago), surround_mean(ago)) * np.sqrt(ago.area)
+        upo_salience = contrast_ratio(region_mean(upo), surround_mean(upo)) * np.sqrt(upo.area)
+        assert ago_salience > upo_salience
+
+    def test_hard_upo_is_fainter_than_normal(self):
+        def upo_energy(hard):
+            state = build_aui_screen(
+                spec_for(AuiType.ADVERTISEMENT, hard=hard, seed=21))
+            img, labels = render_state(state)
+            rect = dict(labels)["UPO"]
+            y0, y1 = int(rect.top), int(rect.bottom)
+            x0, x1 = int(rect.left), int(rect.right)
+            region = img[y0:y1, x0:x1]
+            return float(region.std())
+
+        assert upo_energy(hard=True) < upo_energy(hard=False) + 0.05
+
+
+class TestNonAuiScreens:
+    def test_plain_screen_has_no_labels(self):
+        rng = np.random.default_rng(3)
+        state = build_non_aui_screen(rng)
+        assert not state.is_aui
+        assert state.label_boxes == []
+
+    def test_benign_close_has_close_but_no_ago(self):
+        rng = np.random.default_rng(3)
+        state = build_non_aui_screen(rng, benign_close=True)
+        closes = state.root.find_by_role(SemanticRole.BENIGN_CLOSE)
+        assert len(closes) == 1
+        assert state.root.find_by_role(SemanticRole.AGO) == []
+        assert not state.is_aui
+
+    def test_renderable(self):
+        rng = np.random.default_rng(4)
+        state = build_non_aui_screen(rng, benign_close=True)
+        img, labels = render_state(state)
+        assert img.shape == (640, 360, 3)
+        assert labels == []

@@ -1,0 +1,77 @@
+"""Tests for the detector grid encode/decode roundtrip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import GridSpec, Rect, iou
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(image_w=96, image_h=96, cells_x=8, cells_y=8)
+
+
+class TestGridSpec:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 96, 8, 8)
+        with pytest.raises(ValueError):
+            GridSpec(96, 96, 0, 8)
+
+    def test_cell_dimensions(self, grid):
+        assert grid.cell_w == 12.0
+        assert grid.cell_h == 12.0
+
+    def test_cell_of_interior_point(self, grid):
+        assert grid.cell_of(13, 25) == (1, 2)
+
+    def test_cell_of_edge_point_clamps(self, grid):
+        assert grid.cell_of(96, 96) == (7, 7)
+
+    def test_cell_of_origin(self, grid):
+        assert grid.cell_of(0, 0) == (0, 0)
+
+    def test_encode_targets_in_range(self, grid):
+        rect = Rect(30, 30, 20, 16)
+        col, row, t = grid.encode(rect)
+        assert 0 <= col < 8 and 0 <= row < 8
+        assert 0.0 <= t[0] < 1.0 and 0.0 <= t[1] < 1.0
+        assert 0.0 <= t[2] <= 1.0 and 0.0 <= t[3] <= 1.0
+
+    def test_roundtrip_exact(self, grid):
+        rect = Rect(30, 30, 24, 16)
+        col, row, t = grid.encode(rect)
+        back = grid.decode(col, row, t)
+        assert iou(rect, back) > 0.999
+
+    @given(
+        x=st.floats(0, 80, allow_nan=False),
+        y=st.floats(0, 80, allow_nan=False),
+        w=st.floats(4, 40, allow_nan=False),
+        h=st.floats(4, 40, allow_nan=False),
+    )
+    def test_roundtrip_property(self, x, y, w, h):
+        grid = GridSpec(96, 96, 8, 8)
+        rect = Rect(x, y, min(w, 96 - x), min(h, 96 - y))
+        if rect.is_empty():
+            return
+        col, row, t = grid.encode(rect)
+        back = grid.decode(col, row, t)
+        assert iou(rect, back) > 0.99
+
+    def test_decode_clamps_negative_size(self, grid):
+        rect = grid.decode(2, 2, np.array([0.5, 0.5, -0.1, 0.2]))
+        assert rect.w == 0.0
+        assert rect.h > 0
+
+    def test_scale_to_screen_space(self, grid):
+        rect = Rect(0, 0, 48, 48)
+        scaled = grid.scale_to(rect, 360, 640)
+        assert scaled == Rect(0, 0, 180, 320)
+
+    def test_nonsquare_grid(self):
+        grid = GridSpec(image_w=90, image_h=160, cells_x=9, cells_y=16)
+        rect = Rect(42, 100, 18, 22)
+        col, row, t = grid.encode(rect)
+        assert iou(grid.decode(col, row, t), rect) > 0.99

@@ -1,0 +1,167 @@
+"""Tests for IoU, box matching, and non-maximum suppression."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    Rect,
+    ScoredBox,
+    iou,
+    match_boxes,
+    non_max_suppression,
+    pairwise_iou,
+)
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.1, max_value=1e3, allow_nan=False, allow_infinity=False)
+rects = st.builds(Rect, coords, coords, sizes, sizes)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        r = Rect(5, 5, 10, 10)
+        assert iou(r, r) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou(Rect(0, 0, 5, 5), Rect(100, 100, 5, 5)) == 0.0
+
+    def test_half_overlap(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 0, 10, 10)
+        # intersection 50, union 150.
+        assert iou(a, b) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert iou(Rect(0, 0, 0, 0), Rect(0, 0, 0, 0)) == 0.0
+
+    def test_contained_box(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 5, 5)
+        assert iou(outer, inner) == pytest.approx(25 / 100)
+
+    @given(rects, rects)
+    def test_symmetric(self, a, b):
+        assert math.isclose(iou(a, b), iou(b, a), rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(rects, rects)
+    def test_bounded(self, a, b):
+        v = iou(a, b)
+        assert 0.0 <= v <= 1.0 + 1e-9
+
+    @given(rects)
+    def test_self_iou_is_one(self, r):
+        assert iou(r, r) == pytest.approx(1.0)
+
+
+class TestPairwiseIoU:
+    def test_matches_scalar_iou(self):
+        preds = [Rect(0, 0, 10, 10), Rect(5, 5, 10, 10)]
+        truths = [Rect(0, 0, 10, 10), Rect(20, 20, 4, 4)]
+        matrix = pairwise_iou(preds, truths)
+        assert matrix.shape == (2, 2)
+        for i, p in enumerate(preds):
+            for j, t in enumerate(truths):
+                assert matrix[i, j] == pytest.approx(iou(p, t), abs=1e-9)
+
+    def test_empty_inputs(self):
+        assert pairwise_iou([], [Rect(0, 0, 1, 1)]).shape == (0, 1)
+        assert pairwise_iou([Rect(0, 0, 1, 1)], []).shape == (1, 0)
+
+
+class TestMatchBoxes:
+    def test_perfect_match(self):
+        truths = [Rect(0, 0, 10, 10), Rect(50, 50, 10, 10)]
+        matches, up, ut = match_boxes(truths, truths, threshold=0.9)
+        assert len(matches) == 2
+        assert up == [] and ut == []
+
+    def test_threshold_rejects_loose_match(self):
+        preds = [Rect(0, 0, 10, 10)]
+        truths = [Rect(3, 3, 10, 10)]
+        matches, up, ut = match_boxes(preds, truths, threshold=0.9)
+        assert matches == []
+        assert up == [0] and ut == [0]
+
+    def test_one_to_one_no_double_claim(self):
+        # Two predictions both overlap one truth; only one may match.
+        truth = Rect(0, 0, 10, 10)
+        preds = [Rect(0, 0, 10, 10), Rect(0.1, 0, 10, 10)]
+        matches, up, ut = match_boxes(preds, [truth], threshold=0.5)
+        assert len(matches) == 1
+        assert matches[0] == (0, 0)  # earlier (higher confidence) wins
+        assert up == [1]
+
+    def test_best_truth_selected(self):
+        preds = [Rect(0, 0, 10, 10)]
+        truths = [Rect(4, 4, 10, 10), Rect(0.5, 0, 10, 10)]
+        matches, _, _ = match_boxes(preds, truths, threshold=0.2)
+        assert matches == [(0, 1)]
+
+    def test_no_predictions(self):
+        matches, up, ut = match_boxes([], [Rect(0, 0, 1, 1)], threshold=0.5)
+        assert matches == [] and up == [] and ut == [0]
+
+
+class TestNMS:
+    def test_rejects_bad_score(self):
+        with pytest.raises(ValueError):
+            ScoredBox(Rect(0, 0, 1, 1), "UPO", 1.5)
+
+    def test_suppresses_overlapping_same_class(self):
+        boxes = [
+            ScoredBox(Rect(0, 0, 10, 10), "AGO", 0.9),
+            ScoredBox(Rect(1, 1, 10, 10), "AGO", 0.7),
+        ]
+        kept = non_max_suppression(boxes, iou_threshold=0.4)
+        assert len(kept) == 1
+        assert kept[0].score == 0.9
+
+    def test_keeps_overlapping_different_class(self):
+        boxes = [
+            ScoredBox(Rect(0, 0, 10, 10), "AGO", 0.9),
+            ScoredBox(Rect(1, 1, 10, 10), "UPO", 0.7),
+        ]
+        kept = non_max_suppression(boxes, iou_threshold=0.4)
+        assert len(kept) == 2
+
+    def test_class_agnostic_suppresses_across_classes(self):
+        boxes = [
+            ScoredBox(Rect(0, 0, 10, 10), "AGO", 0.9),
+            ScoredBox(Rect(1, 1, 10, 10), "UPO", 0.7),
+        ]
+        kept = non_max_suppression(boxes, iou_threshold=0.4, class_agnostic=True)
+        assert len(kept) == 1
+
+    def test_keeps_disjoint_boxes(self):
+        boxes = [
+            ScoredBox(Rect(0, 0, 5, 5), "AGO", 0.5),
+            ScoredBox(Rect(50, 50, 5, 5), "AGO", 0.6),
+        ]
+        assert len(non_max_suppression(boxes)) == 2
+
+    def test_result_sorted_by_score(self):
+        boxes = [
+            ScoredBox(Rect(0, 0, 5, 5), "AGO", 0.5),
+            ScoredBox(Rect(50, 50, 5, 5), "AGO", 0.9),
+            ScoredBox(Rect(100, 0, 5, 5), "UPO", 0.7),
+        ]
+        kept = non_max_suppression(boxes)
+        scores = [b.score for b in kept]
+        assert scores == sorted(scores, reverse=True)
+
+    @given(st.lists(st.builds(
+        ScoredBox,
+        st.builds(Rect, coords, coords, sizes, sizes),
+        st.sampled_from(["AGO", "UPO"]),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ), max_size=12))
+    def test_kept_boxes_mutually_compatible(self, boxes):
+        kept = non_max_suppression(boxes, iou_threshold=0.5)
+        for i, a in enumerate(kept):
+            for b in kept[i + 1:]:
+                if a.label == b.label:
+                    from repro.geometry import iou as _iou
+                    assert _iou(a.rect, b.rect) <= 0.5 + 1e-9

@@ -1,0 +1,175 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Offset, Rect
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+rects = st.builds(Rect, coords, coords, sizes, sizes)
+
+
+class TestConstruction:
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 5, -1)
+
+    def test_from_corners_unordered(self):
+        r = Rect.from_corners(10, 20, 2, 4)
+        assert r == Rect(2, 4, 8, 16)
+
+    def test_from_center(self):
+        r = Rect.from_center(50, 50, 20, 10)
+        assert r == Rect(40, 45, 20, 10)
+        assert r.center == (50, 50)
+
+    def test_zero_area_allowed(self):
+        assert Rect(1, 2, 0, 0).is_empty()
+
+
+class TestDerived:
+    def test_edges(self):
+        r = Rect(2, 3, 10, 20)
+        assert (r.left, r.top, r.right, r.bottom) == (2, 3, 12, 23)
+
+    def test_area(self):
+        assert Rect(0, 0, 4, 5).area == 20
+
+    def test_as_xyxy_roundtrip(self):
+        r = Rect(1, 2, 3, 4)
+        assert Rect.from_corners(*r.as_xyxy()) == r
+
+    def test_iter_yields_xywh(self):
+        assert tuple(Rect(1, 2, 3, 4)) == (1, 2, 3, 4)
+
+    def test_coco_format_is_xywh(self):
+        assert Rect(5, 6, 7, 8).as_coco() == (5, 6, 7, 8)
+
+
+class TestPredicates:
+    def test_contains_point_interior(self):
+        assert Rect(0, 0, 10, 10).contains_point(5, 5)
+
+    def test_contains_point_edges_inclusive(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(10, 10)
+
+    def test_contains_point_outside(self):
+        assert not Rect(0, 0, 10, 10).contains_point(10.5, 5)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 100, 100)
+        assert outer.contains_rect(Rect(10, 10, 50, 50))
+        assert not Rect(10, 10, 50, 50).contains_rect(outer)
+
+    def test_intersects_disjoint(self):
+        assert not Rect(0, 0, 5, 5).intersects(Rect(10, 10, 5, 5))
+
+    def test_touching_rects_do_not_intersect(self):
+        # Sharing only an edge has zero overlap area.
+        assert not Rect(0, 0, 5, 5).intersects(Rect(5, 0, 5, 5))
+
+
+class TestAlgebra:
+    def test_intersection_partial_overlap(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 10, 10)
+        assert a.intersection(b) == Rect(5, 5, 5, 5)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(10, 10, 2, 2)).is_empty()
+
+    def test_union_bounds(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(10, 10, 2, 2)
+        assert a.union_bounds(b) == Rect(0, 0, 12, 12)
+
+    def test_union_with_empty_is_identity(self):
+        a = Rect(3, 4, 5, 6)
+        assert a.union_bounds(Rect(0, 0, 0, 0)) == a
+
+    @given(rects, rects)
+    def test_intersection_commutative(self, a, b):
+        ia, ib = a.intersection(b), b.intersection(a)
+        assert math.isclose(ia.area, ib.area, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(rects, rects)
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if not inter.is_empty():
+            assert inter.area <= a.area + 1e-6
+            assert inter.area <= b.area + 1e-6
+
+    @given(rects, rects)
+    def test_union_bounds_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        if not a.is_empty():
+            assert u.area >= a.area - 1e-6
+        if not b.is_empty():
+            assert u.area >= b.area - 1e-6
+
+
+class TestTransforms:
+    def test_translated(self):
+        assert Rect(1, 1, 2, 2).translated(3, 4) == Rect(4, 5, 2, 2)
+
+    def test_offset_by(self):
+        assert Rect(1, 1, 2, 2).offset_by(Offset(-1, -1)) == Rect(0, 0, 2, 2)
+
+    def test_scaled_uniform(self):
+        assert Rect(1, 2, 3, 4).scaled(2) == Rect(2, 4, 6, 8)
+
+    def test_scaled_anisotropic(self):
+        assert Rect(1, 2, 3, 4).scaled(2, 0.5) == Rect(2, 1, 6, 2)
+
+    def test_inflated_grows_about_center(self):
+        r = Rect(10, 10, 10, 10).inflated(5)
+        assert r == Rect(5, 5, 20, 20)
+
+    def test_inflated_negative_clamps(self):
+        r = Rect(0, 0, 4, 4).inflated(-10)
+        assert r.is_empty()
+        assert r.center == (2, 2)
+
+    def test_clipped_to(self):
+        assert Rect(-5, -5, 20, 20).clipped_to(Rect(0, 0, 10, 10)) == Rect(0, 0, 10, 10)
+
+    def test_rounded(self):
+        r = Rect(0.4, 0.6, 9.9, 10.2).rounded()
+        assert r == Rect(0, 1, 10, 10)
+
+    @given(rects, coords, coords)
+    def test_translate_preserves_area(self, r, dx, dy):
+        assert math.isclose(r.translated(dx, dy).area, r.area, rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestOffset:
+    def test_add(self):
+        assert Offset(1, 2) + Offset(3, 4) == Offset(4, 6)
+
+    def test_neg(self):
+        assert -Offset(1, -2) == Offset(-1, 2)
+
+    def test_is_zero(self):
+        assert Offset().is_zero()
+        assert not Offset(0, 1).is_zero()
+
+    def test_offset_roundtrip_on_rect(self):
+        r = Rect(5, 6, 7, 8)
+        o = Offset(12, 34)
+        assert r.offset_by(o).offset_by(-o) == r
+
+
+class TestDistances:
+    def test_center_distance(self):
+        a = Rect(0, 0, 2, 2)  # center (1,1)
+        b = Rect(3, 4, 2, 2)  # center (4,5)
+        assert math.isclose(a.center_distance(b), 5.0)

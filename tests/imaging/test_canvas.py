@@ -1,0 +1,145 @@
+"""Tests for the raster canvas drawing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.imaging import Canvas, Color
+from repro.imaging.color import BLACK, PALETTE, WHITE
+
+
+@pytest.fixture
+def canvas():
+    return Canvas(100, 80, background=WHITE)
+
+
+class TestConstruction:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 10)
+
+    def test_shape_is_hwc(self, canvas):
+        assert canvas.pixels.shape == (80, 100, 3)
+
+    def test_background_applied(self, canvas):
+        assert np.allclose(canvas.pixels, 1.0)
+
+    def test_default_background_black(self):
+        assert np.allclose(Canvas(4, 4).pixels, 0.0)
+
+    def test_from_array_validates_shape(self):
+        with pytest.raises(ValueError):
+            Canvas.from_array(np.zeros((4, 4)))
+
+    def test_from_array_clips(self):
+        arr = np.full((4, 4, 3), 2.0)
+        c = Canvas.from_array(arr)
+        assert c.pixels.max() == 1.0
+
+    def test_to_array_is_copy(self, canvas):
+        arr = canvas.to_array()
+        arr[:] = 0.0
+        assert np.allclose(canvas.pixels, 1.0)
+
+    def test_copy_independent(self, canvas):
+        clone = canvas.copy()
+        clone.fill(BLACK)
+        assert np.allclose(canvas.pixels, 1.0)
+
+
+class TestFillRect:
+    def test_opaque_fill(self, canvas):
+        canvas.fill_rect(Rect(10, 10, 20, 20), BLACK)
+        assert np.allclose(canvas.pixels[15, 15], 0.0)
+        assert np.allclose(canvas.pixels[5, 5], 1.0)
+
+    def test_alpha_blend(self, canvas):
+        canvas.fill_rect(Rect(0, 0, 100, 80), BLACK, alpha=0.5)
+        assert np.allclose(canvas.pixels[40, 50], 0.5, atol=1e-6)
+
+    def test_zero_alpha_noop(self, canvas):
+        canvas.fill_rect(Rect(0, 0, 100, 80), BLACK, alpha=0.0)
+        assert np.allclose(canvas.pixels, 1.0)
+
+    def test_offscreen_rect_ignored(self, canvas):
+        canvas.fill_rect(Rect(500, 500, 10, 10), BLACK)
+        assert np.allclose(canvas.pixels, 1.0)
+
+    def test_partially_offscreen_clipped(self, canvas):
+        canvas.fill_rect(Rect(-10, -10, 20, 20), BLACK)
+        assert np.allclose(canvas.pixels[5, 5], 0.0)
+        assert np.allclose(canvas.pixels[15, 15], 1.0)
+
+
+class TestStrokeRect:
+    def test_stroke_leaves_interior(self, canvas):
+        canvas.stroke_rect(Rect(10, 10, 40, 40), BLACK, thickness=2)
+        assert np.allclose(canvas.pixels[11, 30], 0.0)  # top edge
+        assert np.allclose(canvas.pixels[30, 30], 1.0)  # interior
+
+
+class TestRoundedRect:
+    def test_corners_unpainted(self, canvas):
+        canvas.fill_rounded_rect(Rect(10, 10, 40, 40), BLACK, radius=10)
+        # Very corner pixel lies outside the rounded corner.
+        assert canvas.pixels[10, 10].mean() > 0.9
+        # Center is painted.
+        assert np.allclose(canvas.pixels[30, 30], 0.0)
+
+    def test_zero_radius_is_full_rect(self, canvas):
+        canvas.fill_rounded_rect(Rect(10, 10, 40, 40), BLACK, radius=0)
+        assert np.allclose(canvas.pixels[10, 10], 0.0, atol=0.05)
+
+    def test_radius_clamped_to_half_min_side(self, canvas):
+        # Radius larger than half the side must not raise.
+        canvas.fill_rounded_rect(Rect(10, 10, 20, 40), BLACK, radius=100)
+        assert np.allclose(canvas.pixels[30, 20], 0.0)
+
+
+class TestCircle:
+    def test_center_painted_edge_not(self, canvas):
+        canvas.fill_circle(50, 40, 10, BLACK)
+        assert np.allclose(canvas.pixels[40, 50], 0.0)
+        assert canvas.pixels[40, 65].mean() > 0.9
+
+    def test_antialiased_edge(self, canvas):
+        canvas.fill_circle(50, 40, 10, BLACK)
+        edge = canvas.pixels[40, 59].mean()
+        assert 0.0 < edge < 1.0  # partially covered pixel
+
+
+class TestLinesAndCross:
+    def test_line_painted(self, canvas):
+        canvas.draw_line(0, 0, 99, 79, BLACK, thickness=3)
+        assert canvas.pixels[40, 50].mean() < 0.2
+
+    def test_cross_covers_diagonals(self, canvas):
+        canvas.draw_cross(50, 40, 20, BLACK, thickness=2)
+        assert canvas.pixels[40, 50].mean() < 0.5  # center
+        assert canvas.pixels[33, 43].mean() < 0.6  # upper-left arm
+
+
+class TestGradient:
+    def test_vertical_gradient_monotonic(self, canvas):
+        canvas.fill_vertical_gradient(Rect(0, 0, 100, 80), BLACK, WHITE)
+        top = canvas.pixels[2, 50].mean()
+        mid = canvas.pixels[40, 50].mean()
+        bot = canvas.pixels[78, 50].mean()
+        assert top < mid < bot
+
+
+class TestNoiseAndSampling:
+    def test_noise_changes_pixels_but_stays_clipped(self, canvas):
+        rng = np.random.default_rng(7)
+        canvas.add_noise(rng, scale=0.05)
+        assert not np.allclose(canvas.pixels, 1.0)
+        assert canvas.pixels.max() <= 1.0 and canvas.pixels.min() >= 0.0
+
+    def test_sample_mean(self, canvas):
+        canvas.fill_rect(Rect(0, 0, 50, 80), BLACK)
+        mean = canvas.sample_mean(Rect(0, 0, 50, 80))
+        assert mean.r < 0.01
+
+    def test_sample_mean_offscreen_is_black(self, canvas):
+        mean = canvas.sample_mean(Rect(1000, 1000, 5, 5))
+        assert mean == Color(0, 0, 0)

@@ -1,0 +1,102 @@
+"""Tests for color, luminance and contrast math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.imaging import Color, contrast_ratio, mix, relative_luminance, PALETTE
+from repro.imaging.color import AGO_ACCENTS, BLACK, UPO_MUTED, WHITE
+
+channel = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+colors = st.builds(Color, channel, channel, channel)
+
+
+class TestColor:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Color(1.2, 0, 0)
+        with pytest.raises(ValueError):
+            Color(0, -0.1, 0)
+
+    def test_from_hex(self):
+        c = Color.from_hex("#ff0080")
+        assert c.r == pytest.approx(1.0)
+        assert c.g == pytest.approx(0.0)
+        assert c.b == pytest.approx(128 / 255)
+
+    def test_from_hex_rejects_short(self):
+        with pytest.raises(ValueError):
+            Color.from_hex("#abc")
+
+    def test_array_roundtrip(self):
+        c = Color(0.1, 0.5, 0.9)
+        assert Color.from_array(c.as_array()) == pytest.approx_or_eq if False else True
+        back = Color.from_array(c.as_array())
+        assert back.r == pytest.approx(c.r, abs=1e-6)
+        assert back.b == pytest.approx(c.b, abs=1e-6)
+
+    def test_from_array_clips(self):
+        c = Color.from_array(np.array([1.5, -0.3, 0.5]))
+        assert c.r == 1.0 and c.g == 0.0
+
+    def test_lightened_darkened(self):
+        gray = Color(0.5, 0.5, 0.5)
+        assert gray.lightened(1.0) == WHITE
+        assert gray.darkened(1.0) == BLACK
+
+
+class TestLuminance:
+    def test_black_is_zero(self):
+        assert relative_luminance(BLACK) == pytest.approx(0.0)
+
+    def test_white_is_one(self):
+        assert relative_luminance(WHITE) == pytest.approx(1.0)
+
+    def test_green_brighter_than_blue(self):
+        green = Color(0, 1, 0)
+        blue = Color(0, 0, 1)
+        assert relative_luminance(green) > relative_luminance(blue)
+
+    @given(colors)
+    def test_bounded(self, c):
+        assert 0.0 <= relative_luminance(c) <= 1.0 + 1e-9
+
+
+class TestContrast:
+    def test_black_white_is_21(self):
+        assert contrast_ratio(BLACK, WHITE) == pytest.approx(21.0)
+
+    def test_self_contrast_is_one(self):
+        c = PALETTE["blue"]
+        assert contrast_ratio(c, c) == pytest.approx(1.0)
+
+    @given(colors, colors)
+    def test_symmetric_and_bounded(self, a, b):
+        r = contrast_ratio(a, b)
+        assert r == pytest.approx(contrast_ratio(b, a))
+        assert 1.0 - 1e-9 <= r <= 21.0 + 1e-9
+
+    def test_ago_accents_pop_against_white(self):
+        """The generator's AGO accents must be genuinely salient."""
+        for name in AGO_ACCENTS:
+            assert contrast_ratio(PALETTE[name], WHITE) > 1.7, name
+
+    def test_upo_muted_blend_into_light_backgrounds(self):
+        for name in UPO_MUTED:
+            if name == "dark_gray":
+                continue  # dark_gray is for dark scrims, not light cards
+            assert contrast_ratio(PALETTE[name], PALETTE["near_white"]) < 2.5, name
+
+
+class TestMix:
+    def test_endpoints(self):
+        assert mix(BLACK, WHITE, 0.0) == BLACK
+        assert mix(BLACK, WHITE, 1.0) == WHITE
+
+    def test_midpoint(self):
+        m = mix(BLACK, WHITE, 0.5)
+        assert m.r == pytest.approx(0.5)
+
+    def test_clamps_t(self):
+        assert mix(BLACK, WHITE, 2.0) == WHITE
+        assert mix(BLACK, WHITE, -1.0) == BLACK

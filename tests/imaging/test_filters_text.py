@@ -1,0 +1,142 @@
+"""Tests for image filters and pseudo-text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.imaging import (
+    Canvas,
+    box_blur,
+    draw_pseudo_text,
+    gaussian_blur,
+    gradient_magnitude,
+    pseudo_text_width,
+    to_grayscale,
+)
+from repro.imaging.color import BLACK, PALETTE, WHITE
+from repro.imaging.filters import blur_region, resize
+
+
+def checkerboard(h=32, w=32):
+    img = np.indices((h, w)).sum(axis=0) % 2
+    return np.repeat(img[:, :, None], 3, axis=2).astype(np.float32)
+
+
+class TestGrayscale:
+    def test_shape(self):
+        assert to_grayscale(checkerboard()).shape == (32, 32)
+
+    def test_white_maps_to_one(self):
+        img = np.ones((4, 4, 3), dtype=np.float32)
+        assert np.allclose(to_grayscale(img), 1.0)
+
+    def test_passthrough_for_2d(self):
+        img = np.full((4, 4), 0.5, dtype=np.float32)
+        assert np.allclose(to_grayscale(img), 0.5)
+
+
+class TestBlur:
+    def test_gaussian_reduces_variance(self):
+        img = checkerboard()
+        blurred = gaussian_blur(img, sigma=2.0)
+        assert blurred.var() < img.var()
+
+    def test_gaussian_sigma_zero_noop_copy(self):
+        img = checkerboard()
+        out = gaussian_blur(img, 0.0)
+        assert np.array_equal(out, img)
+        out[0, 0] = 9.0
+        assert img[0, 0, 0] != 9.0
+
+    def test_box_blur_reduces_variance(self):
+        img = checkerboard()
+        assert box_blur(img, 5).var() < img.var()
+
+    def test_blur_region_only_touches_rect(self):
+        img = checkerboard(32, 32)
+        out = blur_region(img, Rect(0, 0, 16, 32), sigma=3.0)
+        # Right half untouched.
+        assert np.array_equal(out[:, 20:], img[:, 20:])
+        # Left half changed.
+        assert not np.array_equal(out[:, :12], img[:, :12])
+
+    def test_blur_region_offscreen_noop(self):
+        img = checkerboard()
+        out = blur_region(img, Rect(100, 100, 10, 10), sigma=3.0)
+        assert np.array_equal(out, img)
+
+
+class TestGradient:
+    def test_edge_has_high_gradient(self):
+        img = np.zeros((16, 16, 3), dtype=np.float32)
+        img[:, 8:] = 1.0
+        mag = gradient_magnitude(img)
+        assert mag[:, 7:9].max() > mag[:, 0:4].max()
+
+    def test_flat_image_zero_gradient(self):
+        img = np.full((8, 8, 3), 0.5, dtype=np.float32)
+        assert np.allclose(gradient_magnitude(img), 0.0, atol=1e-5)
+
+
+class TestResize:
+    def test_exact_output_shape(self):
+        img = checkerboard(33, 47)
+        out = resize(img, 96, 96)
+        assert out.shape == (96, 96, 3)
+
+    def test_downscale_shape(self):
+        out = resize(checkerboard(64, 64), 16, 24)
+        assert out.shape == (16, 24, 3)
+
+    def test_grayscale_input(self):
+        out = resize(np.ones((10, 10), dtype=np.float32), 5, 5)
+        assert out.shape == (5, 5)
+        assert np.allclose(out, 1.0)
+
+    def test_values_stay_in_unit_range(self):
+        out = resize(checkerboard(), 100, 100)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestPseudoText:
+    def test_width_scales_with_length(self):
+        assert pseudo_text_width("abcd", 10) > pseudo_text_width("ab", 10)
+
+    def test_width_empty(self):
+        assert pseudo_text_width("", 10) == 0.0
+
+    def test_draw_returns_bounds(self):
+        canvas = Canvas(200, 60, background=WHITE)
+        bounds = draw_pseudo_text(canvas, "Subscribe", 10, 20, 14, BLACK)
+        assert bounds.x == 10 and bounds.y == 20 and bounds.h == 14
+        assert bounds.w == pytest.approx(pseudo_text_width("Subscribe", 14))
+
+    def test_draw_marks_pixels(self):
+        canvas = Canvas(200, 60, background=WHITE)
+        draw_pseudo_text(canvas, "XX", 10, 20, 20, BLACK)
+        region = canvas.pixels[20:40, 10:40]
+        assert region.min() < 0.1  # some strokes painted
+
+    def test_space_renders_empty(self):
+        canvas = Canvas(100, 40, background=WHITE)
+        draw_pseudo_text(canvas, " ", 10, 10, 20, BLACK)
+        assert np.allclose(canvas.pixels, 1.0)
+
+    def test_deterministic_glyphs(self):
+        c1 = Canvas(100, 40, background=WHITE)
+        c2 = Canvas(100, 40, background=WHITE)
+        draw_pseudo_text(c1, "close", 5, 5, 16, BLACK)
+        draw_pseudo_text(c2, "close", 5, 5, 16, BLACK)
+        assert np.array_equal(c1.pixels, c2.pixels)
+
+    def test_different_text_different_pixels(self):
+        c1 = Canvas(100, 40, background=WHITE)
+        c2 = Canvas(100, 40, background=WHITE)
+        draw_pseudo_text(c1, "open", 5, 5, 16, BLACK)
+        draw_pseudo_text(c2, "shut", 5, 5, 16, BLACK)
+        assert not np.array_equal(c1.pixels, c2.pixels)
+
+    def test_rejects_nonpositive_size(self):
+        canvas = Canvas(10, 10)
+        with pytest.raises(ValueError):
+            draw_pseudo_text(canvas, "x", 0, 0, 0, BLACK)

@@ -1,0 +1,99 @@
+"""Full-system integration: train -> port -> deploy -> protect.
+
+The miniature version of the paper's whole story in one test module: a
+detector trained on the synthetic corpus, ported for mobile, deployed
+in a DarpaService on a simulated device, run against scripted apps that
+pop AUI interstitials, validating detection, decoration placement, and
+the privacy lifecycle together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.android import AppSpec, Device, SimulatedApp, UiStep, UiTimeline
+from repro.bench.experiments import get_corpus_and_splits
+from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
+from repro.datagen import build_aui_screen, build_non_aui_screen
+from repro.geometry import Rect, iou
+from repro.vision import (
+    PortConfig,
+    TinyYolo,
+    YoloConfig,
+    YoloTrainer,
+    build_detection_dataset,
+    port_model,
+)
+
+
+@pytest.fixture(scope="module")
+def deployed_model():
+    """A quickly-trained, ported detector (quality: demo-grade)."""
+    _, splits = get_corpus_and_splits(seed=0)
+    train = build_detection_dataset(splits["train"][:140])
+    model = TinyYolo(YoloConfig(), seed=0)
+    YoloTrainer(model, lr=2e-3, batch_size=16, seed=0).fit(train, epochs=25)
+    return port_model(model, PortConfig(quantization="fp16"))
+
+
+@pytest.fixture()
+def protected_session(deployed_model):
+    _, splits = get_corpus_and_splits(seed=0)
+    rng = np.random.default_rng(5)
+    # Pick an easy AUI: distinct AGO, one normal UPO.
+    sample = next(s for s in splits["test"]
+                  if s.spec.has_ago and s.spec.n_upo == 1
+                  and not s.spec.hard_upo)
+    aui = build_aui_screen(sample.spec, package="com.it.demo")
+    timeline = UiTimeline([
+        UiStep(0, build_non_aui_screen(rng, package="com.it.demo")),
+        UiStep(1_500, aui, minor_updates=2, minor_spacing_ms=60),
+        UiStep(7_000, build_non_aui_screen(rng, package="com.it.demo")),
+    ])
+    device = Device(seed=2)
+    app = SimulatedApp(device, AppSpec(package="com.it.demo",
+                                       timeline=timeline))
+    policy = ScreenshotPolicy(consent_given=True)
+    service = DarpaService(device, deployed_model,
+                           config=DarpaConfig(ct_ms=200.0), policy=policy)
+    service.start()
+    app.launch()
+    device.clock.advance(9_000)
+    return device, app, service, aui
+
+
+class TestEndToEnd:
+    def test_all_screens_analyzed(self, protected_session):
+        _, _, service, _ = protected_session
+        assert service.stats.screens_analyzed == 3
+
+    def test_aui_flagged_by_real_model(self, protected_session):
+        _, _, service, _ = protected_session
+        assert service.stats.auis_flagged >= 1
+
+    def test_upo_decoration_near_truth(self, protected_session):
+        device, _, service, aui = protected_session
+        flagged = [r for r in service.stats.records if r.flagged_aui]
+        assert flagged
+        truth = aui.boxes_of("UPO")[0].translated(0, 24)  # + status bar
+        upo_dets = [d for r in flagged for d in r.detections
+                    if d.label == "UPO"]
+        assert any(iou(d.rect, truth) > 0.5 for d in upo_dets), (
+            f"no UPO detection near {truth}: "
+            f"{[(d.label, tuple(d.rect)) for r in flagged for d in r.detections]}"
+        )
+
+    def test_privacy_lifecycle_clean(self, protected_session):
+        _, _, service, _ = protected_session
+        assert service.policy.outstanding == 0
+        assert service.policy.captures == service.stats.screens_analyzed
+
+    def test_decorations_cleared_after_aui_leaves(self, protected_session):
+        device, _, service, _ = protected_session
+        # The final screen is non-AUI: nothing may remain decorated.
+        assert device.window_manager.overlays() == []
+
+    def test_overhead_accounted(self, protected_session):
+        device, _, service, _ = protected_session
+        report = device.perf.report(9_000)
+        assert report.cpu_pct > 55.22
+        assert report.counts["inference"] == service.stats.screens_analyzed

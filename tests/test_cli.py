@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_command(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.command == "dataset"
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.epochs == 80
+        assert args.output == "darpa_model.npz"
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["--seed", "3", "simulate", "--apps", "7", "--ct", "100"])
+        assert args.seed == 3 and args.apps == 7 and args.ct == 100.0
+
+
+class TestCommands:
+    def test_dataset_runs(self, capsys):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "632 apps" in out
+
+    def test_survey_runs(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "7.49" in out  # AGO mean rating
+
+    def test_simulate_oracle_runs(self, capsys):
+        assert main(["simulate", "--apps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "screens analyzed" in out
+
+    def test_train_and_evaluate_roundtrip(self, tmp_path, capsys):
+        model_path = tmp_path / "tiny.npz"
+        rc = main(["train", "--epochs", "2", "--limit", "12",
+                   "--output", str(model_path), "--no-eval"])
+        assert rc == 0
+        assert model_path.exists()
+        state = dict(np.load(model_path))
+        assert any(k.startswith("bn") for k in state)
+        rc = main(["evaluate", str(model_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "All" in out

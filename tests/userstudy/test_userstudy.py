@@ -1,0 +1,179 @@
+"""Tests for the survey instrument, population model, and analysis."""
+
+import pytest
+
+from repro.userstudy import (
+    Demographics,
+    QuestionKind,
+    Response,
+    SurveyInstrument,
+    analyze_responses,
+    simulate_responses,
+)
+
+
+def minimal_answers():
+    return {
+        "Q1": "yes",
+        "Q2": "often",
+        "Q3": (8.0, 3.0),
+        "Q4": (7.0, 4.0),
+        "Q5": (9.0, 5.0),
+        "Q6": "splash ads",
+        "Q7": "bothered, want to exit quickly",
+        "Q8": "more AUIs",
+        "Q9": "equally important",
+        "Q10": 8,
+        "Q11": "yes",
+        "Q12": "highlight the options",
+    }
+
+
+def response(answers=None, seconds=120.0):
+    return Response(
+        answers=answers or minimal_answers(),
+        demographics=Demographics("female", "18-35", "bachelor+"),
+        completion_seconds=seconds,
+    )
+
+
+class TestInstrument:
+    def test_has_twelve_questions(self):
+        assert len(SurveyInstrument().questions) == 12
+
+    def test_valid_submission_accepted(self):
+        inst = SurveyInstrument()
+        assert inst.submit(response())
+        assert inst.n_valid == 1
+
+    def test_quality_gate_rejects_fast_completion(self):
+        inst = SurveyInstrument()
+        assert not inst.submit(response(seconds=45))
+        assert inst.n_valid == 0
+        assert inst.rejected == 1
+
+    def test_missing_answer_rejected(self):
+        inst = SurveyInstrument()
+        answers = minimal_answers()
+        del answers["Q7"]
+        with pytest.raises(ValueError, match="Q7"):
+            inst.submit(response(answers))
+
+    def test_bad_choice_rejected(self):
+        answers = minimal_answers()
+        answers["Q1"] = "maybe"
+        with pytest.raises(ValueError, match="Q1"):
+            SurveyInstrument().submit(response(answers))
+
+    def test_rating_out_of_range_rejected(self):
+        answers = minimal_answers()
+        answers["Q10"] = 11
+        with pytest.raises(ValueError, match="Q10"):
+            SurveyInstrument().submit(response(answers))
+
+    def test_pair_rating_validation(self):
+        answers = minimal_answers()
+        answers["Q3"] = (11.0, 3.0)
+        with pytest.raises(ValueError, match="Q3"):
+            SurveyInstrument().submit(response(answers))
+
+    def test_question_kinds(self):
+        inst = SurveyInstrument()
+        assert inst.question("Q1").kind is QuestionKind.CHOICE
+        assert inst.question("Q3").kind is QuestionKind.PAIR_RATING
+        assert inst.question("Q10").kind is QuestionKind.RATING
+
+
+class TestPopulation:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return analyze_responses(simulate_responses(seed=0))
+
+    def test_population_size(self, findings):
+        assert findings.n == 165
+
+    def test_q1_matches_paper(self, findings):
+        assert findings.frac_misleading == pytest.approx(156 / 165)
+
+    def test_q2_matches_paper(self, findings):
+        assert findings.frac_often_misclick == pytest.approx(127 / 165)
+        assert findings.frac_never_misclick == pytest.approx(4 / 165)
+
+    def test_accessibility_ratings_match_paper(self, findings):
+        assert findings.ago_mean_rating == pytest.approx(7.49, abs=0.005)
+        assert findings.upo_mean_rating == pytest.approx(4.38, abs=0.005)
+        assert findings.accessibility_gap == pytest.approx(3.11, abs=0.01)
+
+    def test_q7_q8_match_paper(self, findings):
+        assert findings.frac_bothered == pytest.approx(137 / 165)
+        assert findings.n_foreign_app_users == 112
+        assert findings.frac_more_auis_in_china == pytest.approx(86 / 112)
+
+    def test_demand_matches_paper(self, findings):
+        assert findings.demand_mean_rating == pytest.approx(7.64, abs=0.005)
+        assert findings.n_demand_nine_plus == 48
+
+    def test_all_three_findings_hold(self, findings):
+        assert findings.finding1_auis_misleading
+        assert findings.finding2_negative_usability_impact
+        assert findings.finding3_users_expect_solutions
+
+    def test_demographics_bias_documented(self, findings):
+        # The paper flags its young, educated sample as a limitation.
+        assert findings.frac_bachelor > 0.9
+        assert findings.frac_age_18_35 > 0.7
+
+    def test_deterministic_per_seed(self):
+        a = analyze_responses(simulate_responses(seed=3))
+        b = analyze_responses(simulate_responses(seed=3))
+        assert a.as_dict() == b.as_dict()
+
+    def test_different_seed_same_aggregates(self):
+        a = analyze_responses(simulate_responses(seed=0))
+        b = analyze_responses(simulate_responses(seed=99))
+        assert a.frac_misleading == b.frac_misleading
+        assert a.ago_mean_rating == pytest.approx(b.ago_mean_rating, abs=0.01)
+
+    def test_all_simulated_responses_pass_instrument(self):
+        inst = SurveyInstrument()
+        for r in simulate_responses(seed=1):
+            assert inst.submit(r)
+        assert inst.n_valid == 165
+
+
+class TestAnalysis:
+    def test_empty_responses_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_responses([])
+
+    def test_single_response(self):
+        f = analyze_responses([response()])
+        assert f.n == 1
+        assert f.frac_misleading == 1.0
+        assert f.ago_mean_rating == pytest.approx(8.0)
+        assert f.upo_mean_rating == pytest.approx(4.0)
+
+
+class TestSubgroups:
+    def test_subgroup_partition(self):
+        from repro.userstudy.analysis import subgroup_findings
+        responses = simulate_responses(seed=0)
+        groups = subgroup_findings(responses)
+        assert groups["all"].n == 165
+        assert groups["male"].n + groups["female"].n == 165
+        assert groups["age 18-35"].n + groups["age other"].n == 165
+
+    def test_subgroup_aggregates_are_findings(self):
+        from repro.userstudy.analysis import subgroup_findings
+        groups = subgroup_findings(simulate_responses(seed=0))
+        for name, f in groups.items():
+            assert 0.0 <= f.frac_misleading <= 1.0, name
+            assert 1.0 <= f.demand_mean_rating <= 10.0, name
+
+    def test_empty_groups_dropped(self):
+        from repro.userstudy.analysis import subgroup_findings
+        one = [simulate_responses(seed=0)[0]]
+        groups = subgroup_findings(one)
+        assert "all" in groups
+        # A single respondent belongs to exactly one gender group.
+        assert ("male" in groups) != ("female" in groups)

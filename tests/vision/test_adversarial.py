@@ -1,0 +1,103 @@
+"""Tests for the adversarial-patch attack and smoothing mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.vision import TinyYolo, YoloConfig, YoloTrainer
+from repro.vision.adversarial import (
+    AttackConfig,
+    SmoothedDetector,
+    attack_recall,
+    craft_suppression_patch,
+)
+from tests.vision.test_yolo import synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def trained():
+    cfg = YoloConfig(input_w=24, input_h=24, channels=(8, 8, 8, 8))
+    model = TinyYolo(cfg, seed=0)
+    ds = synthetic_dataset(32)
+    YoloTrainer(model, lr=3e-3, batch_size=8).fit(ds, epochs=40)
+    return model, ds
+
+
+class TestConfig:
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            AttackConfig(steps=0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            AttackConfig(epsilon=1.5)
+
+
+class TestPatchCrafting:
+    def test_perturbation_confined_to_patch(self, trained):
+        model, ds = trained
+        x = ds.images[0]
+        target = ds.labels[0][0][1]
+        patched = craft_suppression_patch(model, x, target,
+                                          AttackConfig(steps=5))
+        diff = np.abs(patched - x).sum(axis=0)
+        changed_ys, changed_xs = np.where(diff > 1e-6)
+        assert changed_ys.size > 0, "the attack must actually perturb"
+        # Allow 1px slack: the patch mask snaps to the pixel grid.
+        grown = target.inflated(
+            max(2.0, min(target.w, target.h) * 0.2) * 1.5).inflated(1.0)
+        for y, x_ in zip(changed_ys, changed_xs):
+            assert grown.contains_point(float(x_), float(y)), \
+                "perturbation escaped the patch region"
+
+    def test_pixels_stay_in_unit_range(self, trained):
+        model, ds = trained
+        patched = craft_suppression_patch(model, ds.images[0],
+                                          ds.labels[0][0][1],
+                                          AttackConfig(steps=8))
+        assert patched.min() >= 0.0 and patched.max() <= 1.0
+
+    def test_attack_reduces_objectness(self, trained):
+        model, ds = trained
+        x = ds.images[0]
+        from repro.vision.nn.losses import sigmoid
+        before = sigmoid(model.predict_raw(x[None])[0, 0]).sum()
+        patched = craft_suppression_patch(model, x, ds.labels[0][0][1],
+                                          AttackConfig(steps=20))
+        after = sigmoid(model.predict_raw(patched[None])[0, 0]).sum()
+        assert after < before
+
+
+class TestAttackRecall:
+    def test_whitebox_attack_hurts_recall(self, trained):
+        model, ds = trained
+        small = type(ds)(images=ds.images[:10], labels=ds.labels[:10])
+        res = attack_recall(model, small, AttackConfig(steps=20))
+        assert res["clean_recall"] > 0.6
+        assert res["attacked_recall"] < res["clean_recall"]
+
+    def test_smoothing_mitigates(self, trained):
+        model, ds = trained
+        small = type(ds)(images=ds.images[:10], labels=ds.labels[:10])
+        plain = attack_recall(model, small, AttackConfig(steps=20))
+        smoothed = SmoothedDetector(model, n_samples=5, noise_sigma=0.08,
+                                    seed=1)
+        defended = attack_recall(model, small, AttackConfig(steps=20),
+                                 detector=smoothed)
+        assert defended["attacked_recall"] >= plain["attacked_recall"]
+
+
+class TestSmoothedDetector:
+    def test_rejects_zero_samples(self, trained):
+        model, _ = trained
+        with pytest.raises(ValueError):
+            SmoothedDetector(model, n_samples=0)
+
+    def test_clean_behaviour_preserved(self, trained):
+        model, ds = trained
+        smoothed = SmoothedDetector(model, n_samples=5, noise_sigma=0.04)
+        raw_hits = sum(bool(model.detect_batch(ds.images[i:i+1], 0.4)[0])
+                       for i in range(8))
+        smooth_hits = sum(bool(smoothed.detect_batch(ds.images[i:i+1], 0.4)[0])
+                          for i in range(8))
+        assert smooth_hits >= raw_hits - 2

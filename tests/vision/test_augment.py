@@ -1,0 +1,106 @@
+"""Tests for training-time augmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.vision.augment import AugmentConfig, augment_batch
+
+
+def batch(n=4, h=32, w=24, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.random((n, 3, h, w)).astype(np.float32)
+    labels = [[(1, Rect(5, 6, 8, 8))] for _ in range(n)]
+    return images, labels
+
+
+class TestConfig:
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ValueError):
+            AugmentConfig(max_shift_px=-1)
+
+    def test_rejects_bad_flip_prob(self):
+        with pytest.raises(ValueError):
+            AugmentConfig(hflip_prob=1.5)
+
+
+class TestAugmentBatch:
+    def test_output_shapes_preserved(self):
+        images, labels = batch()
+        out, labs = augment_batch(images, labels, np.random.default_rng(0))
+        assert out.shape == images.shape
+        assert len(labs) == len(labels)
+
+    def test_inputs_not_mutated(self):
+        images, labels = batch()
+        before = images.copy()
+        augment_batch(images, labels, np.random.default_rng(0))
+        assert np.array_equal(images, before)
+
+    def test_values_stay_in_unit_range(self):
+        images, labels = batch()
+        out, _ = augment_batch(images, labels, np.random.default_rng(1),
+                               AugmentConfig(brightness=0.5, noise_sigma=0.1))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_labels_follow_translation(self):
+        images, labels = batch(n=1)
+        cfg = AugmentConfig(brightness=0, contrast=0, noise_sigma=0,
+                            max_shift_px=3)
+        # Run until a nonzero shift happens; boxes must stay on-image
+        # and preserve size (away from borders).
+        rng = np.random.default_rng(2)
+        out, labs = augment_batch(images, labels, rng, cfg)
+        cls, rect = labs[0][0]
+        assert cls == 1
+        assert 0 <= rect.left and rect.right <= 24
+        assert 0 <= rect.top and rect.bottom <= 32
+        assert rect.w >= 5  # fully-interior box only clipped by <= shift
+
+    def test_pure_photometric_keeps_labels(self):
+        images, labels = batch()
+        cfg = AugmentConfig(max_shift_px=0, hflip_prob=0.0)
+        _, labs = augment_batch(images, labels, np.random.default_rng(3), cfg)
+        assert labs == labels
+
+    def test_hflip_mirrors_boxes(self):
+        images, labels = batch(n=1)
+        cfg = AugmentConfig(brightness=0, contrast=0, noise_sigma=0,
+                            max_shift_px=0, hflip_prob=1.0)
+        out, labs = augment_batch(images, labels, np.random.default_rng(0), cfg)
+        _, rect = labs[0][0]
+        orig = labels[0][0][1]
+        assert rect.right == pytest.approx(24 - orig.left)
+        assert rect.y == orig.y
+        assert np.array_equal(out[0, :, :, ::-1], images[0])
+
+    def test_mismatched_lengths_rejected(self):
+        images, labels = batch()
+        with pytest.raises(ValueError):
+            augment_batch(images, labels[:-1], np.random.default_rng(0))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_boxes_always_inside_image(self, seed):
+        images, labels = batch(seed=seed)
+        out, labs = augment_batch(images, labels,
+                                  np.random.default_rng(seed),
+                                  AugmentConfig(max_shift_px=6))
+        for per_image in labs:
+            for _, rect in per_image:
+                assert rect.left >= 0 and rect.top >= 0
+                assert rect.right <= 24 and rect.bottom <= 32
+
+
+class TestTrainerIntegration:
+    def test_training_with_augmentation_learns(self):
+        from tests.vision.test_yolo import synthetic_dataset
+        from repro.vision import TinyYolo, YoloConfig, YoloTrainer
+        cfg = YoloConfig(input_w=24, input_h=24, channels=(8, 8, 8, 8))
+        model = TinyYolo(cfg, seed=0)
+        trainer = YoloTrainer(model, lr=3e-3, batch_size=8,
+                              augment=AugmentConfig(max_shift_px=1))
+        ds = synthetic_dataset(16)
+        history = trainer.fit(ds, epochs=10)
+        assert history.losses[-1] < history.losses[0]

@@ -1,0 +1,97 @@
+"""Tests for the detection dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_corpus, split_corpus
+from repro.geometry import Rect, iou
+from repro.vision.dataset import (
+    CLASS_NAMES,
+    DetectionDataset,
+    INPUT_H,
+    INPUT_W,
+    build_detection_dataset,
+    input_rect_to_screen,
+    screen_rect_to_input,
+    to_input_tensor,
+)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    corpus = build_corpus(seed=0, n_negatives=0)
+    splits = split_corpus(corpus)
+    return splits["val"][:12]
+
+
+class TestCoordinateMaps:
+    def test_roundtrip(self):
+        rect = Rect(30, 40, 50, 60)
+        back = input_rect_to_screen(screen_rect_to_input(rect))
+        assert iou(back, rect) > 0.999
+
+    def test_scale_factor_uniform(self):
+        r = screen_rect_to_input(Rect(0, 0, 360, 640))
+        assert r.w == pytest.approx(INPUT_W)
+        assert r.h == pytest.approx(INPUT_H)
+
+    def test_to_input_tensor_shape_and_range(self):
+        img = np.random.default_rng(0).random((640, 360, 3)).astype(np.float32)
+        tensor = to_input_tensor(img)
+        assert tensor.shape == (3, INPUT_H, INPUT_W)
+        assert tensor.min() >= 0 and tensor.max() <= 1
+
+
+class TestBuildDataset:
+    def test_shapes_and_lengths(self, samples):
+        ds = build_detection_dataset(samples)
+        assert ds.images.shape == (len(samples), 3, INPUT_H, INPUT_W)
+        assert len(ds.labels) == len(samples)
+        assert len(ds) == len(samples)
+        assert ds.input_size == (INPUT_W, INPUT_H)
+
+    def test_label_count_matches_specs(self, samples):
+        ds = build_detection_dataset(samples)
+        expected = sum(int(s.spec.has_ago) + s.spec.n_upo for s in samples)
+        assert sum(len(l) for l in ds.labels) == expected
+
+    def test_labels_in_input_space(self, samples):
+        ds = build_detection_dataset(samples)
+        for labs in ds.labels:
+            for cls, rect in labs:
+                assert 0 <= cls < len(CLASS_NAMES)
+                assert rect.right <= INPUT_W + 1
+                assert rect.bottom <= INPUT_H + 1
+
+    def test_screen_images_optional(self, samples):
+        ds = build_detection_dataset(samples, keep_screen_images=True)
+        assert len(ds.screen_images) == len(samples)
+        assert ds.screen_images[0].shape == (640, 360, 3)
+        ds2 = build_detection_dataset(samples)
+        assert ds2.screen_images is None
+
+    def test_masked_variant_differs(self, samples):
+        plain = build_detection_dataset(samples)
+        masked = build_detection_dataset(samples, masked=True)
+        assert not np.allclose(plain.images, masked.images)
+        # Same labels though: masking only blurs pixels.
+        assert [len(l) for l in plain.labels] == [len(l) for l in masked.labels]
+
+    def test_deterministic_given_seed(self, samples):
+        a = build_detection_dataset(samples, noise_seed=5)
+        b = build_detection_dataset(samples, noise_seed=5)
+        assert np.array_equal(a.images, b.images)
+
+    def test_class_counts(self, samples):
+        ds = build_detection_dataset(samples)
+        counts = ds.class_counts()
+        assert counts["AGO"] == sum(int(s.spec.has_ago) for s in samples)
+        assert counts["UPO"] == sum(s.spec.n_upo for s in samples)
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DetectionDataset(images=np.zeros((2, 1, 8, 8), dtype=np.float32),
+                             labels=[[], []])
+        with pytest.raises(ValueError):
+            DetectionDataset(images=np.zeros((2, 3, 8, 8), dtype=np.float32),
+                             labels=[[]])

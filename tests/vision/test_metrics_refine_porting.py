@@ -1,0 +1,222 @@
+"""Tests for detection metrics, box refinement, and the mobile port."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, ScoredBox
+from repro.imaging import Canvas
+from repro.imaging.color import PALETTE
+from repro.vision import (
+    DetectionEvaluator,
+    MobilePort,
+    PortConfig,
+    ScreenConfusion,
+    TinyYolo,
+    YoloConfig,
+    port_model,
+)
+from repro.vision.metrics import ClassMetrics
+from repro.vision.refine import snap_box_to_edges, snap_box_to_region
+
+
+def det(x, y, w, h, label="UPO", score=0.9):
+    return ScoredBox(rect=Rect(x, y, w, h), label=label, score=score)
+
+
+class TestClassMetrics:
+    def test_precision_recall_f1(self):
+        m = ClassMetrics(tp=8, fp=2, fn=4)
+        assert m.precision == pytest.approx(0.8)
+        assert m.recall == pytest.approx(8 / 12)
+        assert m.f1 == pytest.approx(16 / 22)
+
+    def test_zero_division_guards(self):
+        m = ClassMetrics()
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+
+    def test_merge(self):
+        a, b = ClassMetrics(1, 2, 3), ClassMetrics(4, 5, 6)
+        merged = a.merge(b)
+        assert (merged.tp, merged.fp, merged.fn) == (5, 7, 9)
+
+
+class TestDetectionEvaluator:
+    def test_exact_match_is_tp(self):
+        ev = DetectionEvaluator(0.9)
+        ev.add_image([det(10, 10, 30, 30)], [("UPO", Rect(10, 10, 30, 30))])
+        r = ev.result()
+        assert r.per_class["UPO"].tp == 1
+        assert r.row("UPO") == (1.0, 1.0, 1.0)
+
+    def test_loose_match_below_strict_iou_is_fp_and_fn(self):
+        ev = DetectionEvaluator(0.9)
+        ev.add_image([det(10, 10, 30, 30)], [("UPO", Rect(14, 14, 30, 30))])
+        m = ev.result().per_class["UPO"]
+        assert m.tp == 0 and m.fp == 1 and m.fn == 1
+
+    def test_wrong_class_never_matches(self):
+        ev = DetectionEvaluator(0.9)
+        ev.add_image([det(10, 10, 30, 30, label="AGO")],
+                     [("UPO", Rect(10, 10, 30, 30))])
+        r = ev.result()
+        assert r.per_class["AGO"].fp == 1
+        assert r.per_class["UPO"].fn == 1
+
+    def test_overall_pools_classes(self):
+        ev = DetectionEvaluator(0.9)
+        ev.add_image(
+            [det(10, 10, 30, 30, "AGO"), det(100, 100, 20, 20, "UPO")],
+            [("AGO", Rect(10, 10, 30, 30)), ("UPO", Rect(100, 100, 20, 20))],
+        )
+        assert ev.result().overall.tp == 2
+
+    def test_duplicate_detections_one_tp_one_fp(self):
+        ev = DetectionEvaluator(0.9)
+        ev.add_image([det(10, 10, 30, 30, score=0.9),
+                      det(10, 10, 30, 30, score=0.5)],
+                     [("UPO", Rect(10, 10, 30, 30))])
+        m = ev.result().per_class["UPO"]
+        assert m.tp == 1 and m.fp == 1
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DetectionEvaluator(iou_threshold=0.0)
+
+    def test_add_images_bulk(self):
+        ev = DetectionEvaluator(0.9)
+        preds = [[det(0, 0, 10, 10)], []]
+        truths = [[("UPO", Rect(0, 0, 10, 10))], [("AGO", Rect(5, 5, 20, 20))]]
+        ev.add_images(preds, truths)
+        r = ev.result()
+        assert r.per_class["UPO"].tp == 1
+        assert r.per_class["AGO"].fn == 1
+
+
+class TestScreenConfusion:
+    def test_matrix_layout(self):
+        sc = ScreenConfusion()
+        sc.add_screen(labeled_aui=True, predicted_aui=True)
+        sc.add_screen(labeled_aui=True, predicted_aui=False)
+        sc.add_screen(labeled_aui=False, predicted_aui=True)
+        sc.add_screen(labeled_aui=False, predicted_aui=False)
+        m = sc.as_matrix()
+        assert m["AUI"]["AUI"] == 1 and m["AUI"]["Non-AUI"] == 1
+        assert m["Non-AUI"]["AUI"] == 1 and m["Non-AUI"]["Non-AUI"] == 1
+        assert sc.precision == 0.5 and sc.recall == 0.5
+
+
+class TestRefinement:
+    def _button_scene(self, x=100, y=200, w=80, h=36):
+        canvas = Canvas(360, 640, background=PALETTE["white"])
+        canvas.fill_rect(Rect(x, y, w, h), PALETTE["blue"])
+        return canvas.to_array(), Rect(x, y, w, h)
+
+    def test_region_snap_recovers_exact_box(self):
+        img, truth = self._button_scene()
+        noisy = Rect(truth.x - 6, truth.y + 4, truth.w + 10, truth.h - 6)
+        from repro.geometry import iou
+        refined = snap_box_to_region(img, noisy)
+        assert iou(refined, truth) > 0.95
+
+    def test_region_snap_keeps_box_on_flat_image(self):
+        img = np.full((100, 100, 3), 0.5, dtype=np.float32)
+        rect = Rect(30, 30, 20, 20)
+        assert snap_box_to_region(img, rect) == rect
+
+    def test_region_snap_rejects_background_bleed(self):
+        # Box predicted on empty background away from any widget.
+        img, _ = self._button_scene()
+        rect = Rect(250, 500, 30, 30)
+        refined = snap_box_to_region(img, rect)
+        assert refined == rect  # nothing to snap to; box unchanged
+
+    def test_region_snap_handles_translucent_widget(self):
+        canvas = Canvas(360, 640, background=PALETTE["white"])
+        truth = Rect(300, 40, 24, 24)
+        canvas.fill_rect(truth, PALETTE["dark_gray"], alpha=0.5)
+        img = canvas.to_array()
+        noisy = Rect(truth.x - 4, truth.y - 3, truth.w + 6, truth.h + 5)
+        from repro.geometry import iou
+        assert iou(snap_box_to_region(img, noisy), truth) > 0.9
+
+    def test_edge_snap_improves_box(self):
+        img, truth = self._button_scene()
+        noisy = Rect(truth.x - 5, truth.y + 3, truth.w + 8, truth.h - 4)
+        from repro.geometry import iou
+        refined = snap_box_to_edges(img, noisy)
+        assert iou(refined, truth) >= iou(noisy, truth)
+
+    def test_degenerate_rect_returned_unchanged(self):
+        img = np.zeros((50, 50, 3), dtype=np.float32)
+        rect = Rect(10, 10, 1, 1)
+        assert snap_box_to_region(img, rect) == rect
+
+
+class TestPorting:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from tests.vision.test_yolo import synthetic_dataset
+        from repro.vision import YoloTrainer
+        cfg = YoloConfig(input_w=24, input_h=24, channels=(8, 8, 8, 8))
+        model = TinyYolo(cfg, seed=0)
+        YoloTrainer(model, lr=3e-3, batch_size=8).fit(synthetic_dataset(16), epochs=6)
+        return model
+
+    def test_bn_folding_preserves_outputs(self, trained):
+        ported = port_model(trained, PortConfig(quantization="none"))
+        x = np.random.default_rng(0).normal(0, 1, (2, 3, 24, 24)).astype(np.float32)
+        a = trained.predict_raw(x)
+        b = ported.model.predict_raw(x)
+        assert np.allclose(a, b, atol=1e-3)
+
+    def test_folded_graph_has_no_batchnorm(self, trained):
+        from repro.vision.nn import BatchNorm2D
+        ported = port_model(trained)
+        assert not any(isinstance(l, BatchNorm2D)
+                       for l in ported.model.backbone.layers)
+
+    def test_fp16_outputs_close(self, trained):
+        ported = port_model(trained, PortConfig(quantization="fp16"))
+        x = np.random.default_rng(1).normal(0, 1, (2, 3, 24, 24)).astype(np.float32)
+        a = trained.predict_raw(x)
+        b = ported.model.predict_raw(x)
+        assert np.abs(a - b).max() < 0.1
+
+    def test_int8_smaller_than_fp16(self, trained):
+        p8 = port_model(trained, PortConfig(quantization="int8"))
+        p16 = port_model(trained, PortConfig(quantization="fp16"))
+        assert p8.model_size_bytes() < p16.model_size_bytes()
+
+    def test_port_does_not_mutate_source(self, trained):
+        before = [w.copy() for w in trained.get_weights()]
+        port_model(trained, PortConfig(quantization="int8"))
+        after = trained.get_weights()
+        assert all(np.array_equal(a, b) for a, b in zip(before, after))
+
+    def test_ported_inference_faster(self, trained):
+        ported = port_model(trained)
+        assert ported.inference_time_ms() < 38.0
+
+    def test_rejects_unknown_quantization(self):
+        with pytest.raises(ValueError):
+            PortConfig(quantization="fp8")
+
+
+class TestPrecisionRecallCurve:
+    def test_sweep_shapes_and_monotonicity(self):
+        from repro.vision.metrics import precision_recall_curve
+        truth = [("UPO", Rect(10, 10, 30, 30))]
+
+        def detect_fn(image, thr):
+            dets = [det(10, 10, 30, 30, score=0.9)]
+            if thr <= 0.4:  # low thresholds admit a false positive
+                dets.append(det(200, 200, 30, 30, score=0.45))
+            return [d for d in dets if d.score >= thr]
+
+        curve = precision_recall_curve(detect_fn, [None], [truth],
+                                       thresholds=(0.2, 0.6, 0.95))
+        assert [c[0] for c in curve] == [0.2, 0.6, 0.95]
+        # Low threshold: P=0.5 R=1; mid: P=1 R=1; high: nothing detected.
+        assert curve[0][1] == pytest.approx(0.5)
+        assert curve[1] == (0.6, 1.0, 1.0)
+        assert curve[2][2] == 0.0

@@ -1,0 +1,234 @@
+"""Gradient checks and behaviour tests for the NN library."""
+
+import numpy as np
+import pytest
+
+from repro.vision.nn import (
+    Adam,
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    check_layer_gradients,
+)
+
+RNG = np.random.default_rng(42)
+# Layers run in float32; central differences at eps=1e-3 carry ~1e-3
+# noise.  Real backprop bugs produce errors of order 1, so 1e-2 is
+# still a sharp discriminator.
+TOL = 1e-2
+
+
+def rand(*shape):
+    return RNG.normal(0, 1, shape).astype(np.float32)
+
+
+class TestGradients:
+    """Numerical gradient checks — the backbone of backprop trust."""
+
+    def test_conv2d(self):
+        layer = Conv2D(2, 3, kernel=3, stride=1, rng=np.random.default_rng(1))
+        errs = check_layer_gradients(layer, rand(2, 2, 6, 6))
+        assert max(errs.values()) < TOL, errs
+
+    def test_conv2d_stride2(self):
+        layer = Conv2D(2, 2, kernel=3, stride=2, pad=1,
+                       rng=np.random.default_rng(2))
+        errs = check_layer_gradients(layer, rand(1, 2, 8, 8))
+        assert max(errs.values()) < TOL, errs
+
+    def test_conv2d_1x1(self):
+        layer = Conv2D(3, 4, kernel=1, pad=0, rng=np.random.default_rng(3))
+        errs = check_layer_gradients(layer, rand(2, 3, 5, 5))
+        assert max(errs.values()) < TOL, errs
+
+    def test_linear(self):
+        layer = Linear(6, 4, rng=np.random.default_rng(4))
+        errs = check_layer_gradients(layer, rand(3, 6))
+        assert max(errs.values()) < TOL, errs
+
+    def test_batchnorm(self):
+        layer = BatchNorm2D(3)
+        errs = check_layer_gradients(layer, rand(4, 3, 4, 4))
+        assert max(errs.values()) < 1.5e-2, errs
+
+    def test_maxpool(self):
+        layer = MaxPool2D(2)
+        # Spread values so no pooling window has a near-tie: max-pool is
+        # non-differentiable at ties and finite differences flip there.
+        x = rand(2, 2, 6, 6) * 5.0
+        errs = check_layer_gradients(layer, x)
+        assert errs["input"] < TOL
+
+    def test_leaky_relu(self):
+        layer = LeakyReLU(0.1)
+        errs = check_layer_gradients(layer, rand(2, 3, 4, 4) + 0.05)
+        assert errs["input"] < TOL
+
+    def test_sigmoid(self):
+        errs = check_layer_gradients(Sigmoid(), rand(2, 5))
+        assert errs["input"] < TOL
+
+    def test_sequential_stack(self):
+        model = Sequential([
+            Conv2D(1, 2, kernel=3, rng=np.random.default_rng(5)),
+            BatchNorm2D(2),
+            LeakyReLU(0.1),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(2 * 3 * 3, 4, rng=np.random.default_rng(6)),
+        ])
+        errs = check_layer_gradients(model, rand(2, 1, 6, 6))
+        assert max(errs.values()) < 1.5e-2, errs
+
+
+class TestShapes:
+    def test_conv_same_padding(self):
+        layer = Conv2D(3, 8, kernel=3)
+        assert layer.forward(rand(2, 3, 16, 16)).shape == (2, 8, 16, 16)
+
+    def test_conv_stride_halves(self):
+        layer = Conv2D(3, 8, kernel=3, stride=2, pad=1)
+        assert layer.forward(rand(1, 3, 16, 16)).shape == (1, 8, 8, 8)
+
+    def test_maxpool_halves(self):
+        assert MaxPool2D(2).forward(rand(1, 4, 8, 8)).shape == (1, 4, 4, 4)
+
+    def test_maxpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(rand(1, 1, 7, 8))
+
+    def test_flatten(self):
+        assert Flatten().forward(rand(3, 2, 4, 4)).shape == (3, 32)
+
+    def test_backward_without_training_raises(self):
+        layer = Conv2D(1, 1)
+        layer.forward(rand(1, 1, 4, 4), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(rand(1, 1, 4, 4))
+
+
+class TestBatchNormSemantics:
+    def test_training_normalizes_batch(self):
+        bn = BatchNorm2D(2)
+        x = rand(8, 2, 4, 4) * 5 + 3
+        out = bn.forward(x, training=True)
+        assert abs(out.mean()) < 0.1
+        assert abs(out.std() - 1.0) < 0.1
+
+    def test_running_stats_converge(self):
+        bn = BatchNorm2D(1, momentum=0.5)
+        x = rand(16, 1, 4, 4) * 2 + 7
+        for _ in range(20):
+            bn.forward(x, training=True)
+        assert bn.running_mean[0] == pytest.approx(7.0, abs=0.5)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2D(1, momentum=0.0)
+        x = rand(16, 1, 4, 4) * 2 + 7
+        bn.forward(x, training=True)  # momentum 0 -> running = batch stats
+        out = bn.forward(x, training=False)
+        assert abs(out.mean()) < 0.05
+
+
+class TestMaxPoolSemantics:
+    def test_selects_maximum(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        x[0, 0, 1, 1] = 5.0
+        out = MaxPool2D(2).forward(x)
+        assert out[0, 0, 0, 0] == 5.0
+
+    def test_tie_gradient_goes_to_one_input(self):
+        pool = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        pool.forward(x, training=True)
+        dx = pool.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+        assert dx.sum() == pytest.approx(1.0)
+
+
+class TestOptimizers:
+    def _quadratic_params(self):
+        from repro.vision.nn.layers import Parameter
+        return [Parameter(np.array([5.0, -3.0], dtype=np.float32))]
+
+    def test_sgd_descends_quadratic(self):
+        params = self._quadratic_params()
+        opt = SGD(params, lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            params[0].grad += 2 * params[0].value  # d/dx of x^2
+            opt.step()
+        assert np.abs(params[0].value).max() < 1e-3
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def run(momentum):
+            params = self._quadratic_params()
+            opt = SGD(params, lr=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                params[0].grad += 2 * params[0].value
+                opt.step()
+            return float(np.abs(params[0].value).max())
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_descends_quadratic(self):
+        params = self._quadratic_params()
+        opt = Adam(params, lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            params[0].grad += 2 * params[0].value
+            opt.step()
+        assert np.abs(params[0].value).max() < 1e-2
+
+    def test_weight_decay_shrinks_weights(self):
+        params = self._quadratic_params()
+        opt = SGD(params, lr=0.1, weight_decay=0.5)
+        for _ in range(100):
+            opt.zero_grad()  # no task gradient, only decay
+            opt.step()
+        assert np.abs(params[0].value).max() < 0.1
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam(self._quadratic_params(), lr=0)
+
+
+class TestEndToEndLearning:
+    def test_tiny_cnn_learns_xor_of_quadrants(self):
+        """A small conv net must fit a simple synthetic image task."""
+        rng = np.random.default_rng(0)
+        n = 64
+        x = rng.normal(0, 0.3, (n, 1, 8, 8)).astype(np.float32)
+        y = np.zeros((n,), dtype=int)
+        for i in range(n):
+            if i % 2 == 0:
+                x[i, 0, :4, :4] += 2.0  # bright top-left => class 1
+                y[i] = 1
+        model = Sequential([
+            Conv2D(1, 4, kernel=3, rng=rng),
+            LeakyReLU(0.1),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(4 * 4 * 4, 2, rng=rng),
+        ])
+        from repro.vision.nn import softmax_cross_entropy
+        opt = Adam(model.parameters(), lr=5e-3)
+        for _ in range(60):
+            opt.zero_grad()
+            logits = model.forward(x, training=True)
+            loss, grad = softmax_cross_entropy(logits, y)
+            model.backward(grad)
+            opt.step()
+        preds = model.forward(x).argmax(axis=1)
+        assert (preds == y).mean() > 0.95

@@ -1,0 +1,178 @@
+"""Tests for region proposals, feature backbones, and RCNN detectors."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_corpus, split_corpus
+from repro.geometry import Rect, iou
+from repro.vision.dataset import build_detection_dataset
+from repro.vision.features import Resnet50Backbone, Vgg16Backbone
+from repro.vision.rcnn import (
+    RcnnConfig,
+    RcnnDetector,
+    propose_regions,
+    table5_model_suite,
+)
+from repro.imaging import Canvas
+from repro.imaging.color import PALETTE
+
+
+@pytest.fixture(scope="module")
+def small_split():
+    corpus = build_corpus(seed=0, n_negatives=0)
+    splits = split_corpus(corpus)
+    train = build_detection_dataset(splits["train"][:40], keep_screen_images=True)
+    test = build_detection_dataset(splits["test"][:20], keep_screen_images=True)
+    return train, test
+
+
+class TestProposals:
+    def test_flat_button_proposed(self):
+        canvas = Canvas(360, 640, background=PALETTE["white"])
+        truth = Rect(100, 200, 120, 48)
+        canvas.fill_rect(truth, PALETTE["blue"])
+        proposals = propose_regions(canvas.to_array())
+        assert any(iou(p, truth) > 0.6 for p in proposals)
+
+    def test_respects_max_proposals(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((640, 360, 3)).astype(np.float32)
+        assert len(propose_regions(img, max_proposals=10)) <= 10
+
+    def test_tiny_regions_filtered(self):
+        canvas = Canvas(360, 640, background=PALETTE["white"])
+        canvas.fill_rect(Rect(10, 10, 3, 3), PALETTE["red"])
+        proposals = propose_regions(canvas.to_array(), min_side=8)
+        assert all(p.w >= 8 and p.h >= 8 for p in proposals)
+
+    def test_covers_real_aui_options(self, small_split):
+        """Proposals must reach most ground-truth options at IoU 0.5."""
+        _, test = small_split
+        covered = total = 0
+        for img, labels in zip(test.screen_images, test.screen_labels):
+            proposals = propose_regions(img)
+            for _, gt in labels:
+                total += 1
+                if any(iou(p, gt) > 0.5 for p in proposals):
+                    covered += 1
+        assert covered / total > 0.6
+
+
+class TestBackbones:
+    def test_feature_dims_match_declaration(self, small_split):
+        _, test = small_split
+        img = test.screen_images[0]
+        rect = Rect(50, 50, 60, 40)
+        for backbone in (Vgg16Backbone(), Resnet50Backbone()):
+            feat = backbone.extract(img, rect)
+            assert feat.shape == (backbone.dim,)
+            assert np.isfinite(feat).all()
+
+    def test_resnet_richer_than_vgg(self):
+        assert Resnet50Backbone().dim > Vgg16Backbone().dim
+        assert Resnet50Backbone().unit_cost > Vgg16Backbone().unit_cost
+
+    def test_features_differ_across_patches(self, small_split):
+        _, test = small_split
+        img = test.screen_images[0]
+        bb = Vgg16Backbone()
+        a = bb.extract(img, Rect(10, 10, 50, 50))
+        b = bb.extract(img, Rect(200, 400, 80, 40))
+        assert not np.allclose(a, b)
+
+    def test_offscreen_rect_yields_finite_features(self, small_split):
+        _, test = small_split
+        feat = Vgg16Backbone().extract(test.screen_images[0],
+                                       Rect(350, 630, 40, 40))
+        assert np.isfinite(feat).all()
+
+
+class TestRcnnDetector:
+    def test_unknown_backbone_rejected(self):
+        with pytest.raises(ValueError):
+            RcnnDetector("AlexNet")
+
+    def test_detect_before_fit_raises(self, small_split):
+        _, test = small_split
+        det = RcnnDetector("VGG16")
+        with pytest.raises(RuntimeError):
+            det.detect_screen(test.screen_images[0])
+
+    def test_names(self):
+        assert RcnnDetector("VGG16").name == "Faster RCNN+VGG16"
+        assert RcnnDetector("ResNet50", mask_refinement=True).name == "Mask RCNN+ResNet50"
+
+    def test_fit_reduces_loss_and_detects(self, small_split):
+        train, test = small_split
+        det = RcnnDetector("ResNet50", mask_refinement=True,
+                           config=RcnnConfig(epochs=25))
+        losses = det.fit(train)
+        assert losses[-1] < losses[0]
+        # After fitting, it should find at least some true options.
+        hits = 0
+        for img, labels in zip(test.screen_images, test.screen_labels):
+            dets = det.detect_screen(img)
+            for d in dets:
+                if any(d.label == role and iou(d.rect, gt) > 0.5
+                       for role, gt in labels):
+                    hits += 1
+        assert hits > 0
+        assert det.last_inference_ms > 0
+
+    def test_training_needs_screen_images(self):
+        ds = build_detection_dataset([], keep_screen_images=False)
+        det = RcnnDetector("VGG16")
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            det.fit(ds)
+
+    def test_suite_has_four_table5_rows(self):
+        suite = table5_model_suite()
+        assert set(suite) == {
+            "Faster RCNN+VGG16", "Faster RCNN+ResNet50",
+            "Mask RCNN+VGG16", "Mask RCNN+ResNet50",
+        }
+
+
+class TestBBoxRegressor:
+    def test_encode_apply_roundtrip(self):
+        from repro.vision.rcnn import BBoxRegressor
+        proposal = Rect(100, 100, 40, 30)
+        truth = Rect(104, 96, 44, 36)
+        deltas = BBoxRegressor.encode(proposal, truth)
+        back = BBoxRegressor.apply(proposal, deltas)
+        assert iou(back, truth) > 0.95
+
+    def test_unfitted_predicts_zero_deltas(self):
+        from repro.vision.rcnn import BBoxRegressor
+        reg = BBoxRegressor()
+        assert not reg.fitted
+        deltas = reg.predict(np.zeros(16, dtype=np.float32))
+        assert np.allclose(deltas, 0.0)
+        rect = Rect(10, 10, 20, 20)
+        assert iou(BBoxRegressor.apply(rect, deltas), rect) > 0.99
+
+    def test_fit_requires_enough_rows(self):
+        from repro.vision.rcnn import BBoxRegressor
+        reg = BBoxRegressor()
+        reg.fit(np.zeros((3, 8), dtype=np.float32), np.zeros((3, 4)))
+        assert not reg.fitted
+
+    def test_fit_learns_constant_shift(self):
+        from repro.vision.rcnn import BBoxRegressor
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (64, 8)).astype(np.float32)
+        t = np.tile(np.array([0.2, -0.1, 0.0, 0.0], dtype=np.float32), (64, 1))
+        reg = BBoxRegressor(ridge=0.1)
+        reg.fit(x, t)
+        pred = reg.predict(x[0])
+        assert abs(pred[0] - 0.2) < 0.05
+        assert abs(pred[1] + 0.1) < 0.05
+
+    def test_apply_clamps_extreme_deltas(self):
+        from repro.vision.rcnn import BBoxRegressor
+        rect = Rect(100, 100, 20, 20)
+        wild = np.array([5.0, -5.0, 3.0, -3.0], dtype=np.float32)
+        out = BBoxRegressor.apply(rect, wild)
+        assert out.center_distance(rect) < 30
+        assert 0.3 * rect.w < out.w < 3 * rect.w

@@ -1,0 +1,66 @@
+"""Property-based tests for box refinement invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, iou
+from repro.imaging import Canvas
+from repro.imaging.color import Color, PALETTE
+from repro.vision.refine import refine_detection_box, snap_box_to_region
+
+coords = st.floats(min_value=5, max_value=300, allow_nan=False)
+sizes = st.floats(min_value=8, max_value=80, allow_nan=False)
+channel = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def scene(x, y, w, h, widget_color, bg_color):
+    canvas = Canvas(360, 640, background=bg_color)
+    canvas.fill_rect(Rect(x, y, w, h), widget_color)
+    return canvas.to_array()
+
+
+class TestRefinementInvariants:
+    @given(x=coords, y=coords, w=sizes, h=sizes,
+           dx=st.floats(-0.12, 0.12), dy=st.floats(-0.12, 0.12))
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_solid_widgets(self, x, y, w, h, dx, dy):
+        """A solid high-contrast rect is recovered from a jittered box."""
+        x, y, w, h = round(x), round(y), round(w), round(h)
+        img = scene(x, y, w, h, PALETTE["blue"], PALETTE["white"])
+        truth = Rect(x, y, w, h)
+        pred = Rect.from_center(truth.center[0] + dx * w,
+                                truth.center[1] + dy * h, w * 1.1, h * 1.1)
+        refined = refine_detection_box(img, pred)
+        assert iou(refined, truth) > 0.85
+
+    @given(x=coords, y=coords, w=sizes, h=sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_result_always_valid_rect(self, x, y, w, h):
+        """Refinement never returns degenerate or out-of-band boxes."""
+        rng = np.random.default_rng(int(x * 7 + y) % 1000)
+        img = rng.random((640, 360, 3)).astype(np.float32)
+        pred = Rect(x, y, w, h)
+        refined = refine_detection_box(img, pred)
+        assert refined.w >= 0 and refined.h >= 0
+        # Stays in the vicinity of the prediction (never teleports).
+        assert refined.center_distance(pred) < max(w, h) * 3 + 20
+
+    @given(r=channel, g=channel, b=channel)
+    @settings(max_examples=20, deadline=None)
+    def test_flat_image_never_moves_box(self, r, g, b):
+        img = np.full((200, 200, 3), (r, g, b), dtype=np.float32)
+        pred = Rect(80, 80, 30, 30)
+        assert snap_box_to_region(img, pred) == pred
+
+    @given(alpha=st.floats(min_value=0.5, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_translucency_tolerated_above_half(self, alpha):
+        """Widgets composited at alpha >= 0.5 still snap correctly."""
+        canvas = Canvas(360, 640, background=PALETTE["white"])
+        truth = Rect(100, 100, 28, 28)
+        canvas.fill_rect(truth, PALETTE["dark_gray"], alpha=alpha)
+        img = canvas.to_array()
+        pred = truth.inflated(4).translated(2, -2)
+        refined = refine_detection_box(img, pred)
+        assert iou(refined, truth) > 0.8

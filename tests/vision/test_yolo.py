@@ -1,0 +1,183 @@
+"""Tests for TinyYOLO: encoding, loss, decode, training dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, iou
+from repro.vision import TinyYolo, YoloConfig, YoloTrainer
+from repro.vision.dataset import DetectionDataset
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    # 24x24 input -> 3x3 grid: fast enough for unit tests.
+    return YoloConfig(input_w=24, input_h=24, channels=(8, 8, 8, 8))
+
+
+@pytest.fixture(scope="module")
+def model(small_config):
+    return TinyYolo(small_config, seed=0)
+
+
+def synthetic_dataset(n=24, seed=0, w=24, h=24):
+    """Bright squares on dark backgrounds; class by size."""
+    rng = np.random.default_rng(seed)
+    images = np.zeros((n, 3, h, w), dtype=np.float32)
+    labels = []
+    for i in range(n):
+        big = i % 2 == 0
+        size = 12 if big else 5
+        x = int(rng.integers(1, w - size - 1))
+        y = int(rng.integers(1, h - size - 1))
+        images[i, :, y:y + size, x:x + size] = 1.0
+        cls = 0 if big else 1
+        labels.append([(cls, Rect(x, y, size, size))])
+    return DetectionDataset(images=images, labels=labels)
+
+
+class TestConfig:
+    def test_grid_from_input(self):
+        cfg = YoloConfig(input_w=72, input_h=128)
+        assert cfg.cells_x == 9 and cfg.cells_y == 16
+
+    def test_out_channels(self):
+        assert YoloConfig(n_classes=2).out_channels == 7
+
+
+class TestForward:
+    def test_output_shape(self, model, small_config):
+        x = np.zeros((2, 3, 24, 24), dtype=np.float32)
+        raw = model.forward(x)
+        assert raw.shape == (2, small_config.out_channels, 3, 3)
+
+
+class TestTargets:
+    def test_encode_marks_correct_cell(self, model):
+        labels = [[(1, Rect(8, 8, 6, 6))]]  # center (11, 11) -> cell (1,1)
+        t = model.encode_targets(labels)
+        assert t["obj"][0, 1, 1] == 1.0
+        assert t["obj"].sum() == 1.0
+        assert t["cls"][0, 1, 1] == 1
+
+    def test_encode_empty_labels(self, model):
+        t = model.encode_targets([[]])
+        assert t["obj"].sum() == 0
+
+
+class TestLoss:
+    def test_loss_positive_and_grad_shaped(self, model):
+        x = np.random.default_rng(0).normal(0, 1, (2, 3, 24, 24)).astype(np.float32)
+        raw = model.forward(x, training=True)
+        targets = model.encode_targets([[(0, Rect(4, 4, 10, 10))], []])
+        loss, grad = model.loss_and_grad(raw, targets)
+        assert loss > 0
+        assert grad.shape == raw.shape
+
+    def test_perfect_prediction_low_loss(self, model, small_config):
+        """Crafted raw outputs matching the targets give near-zero loss."""
+        labels = [[(1, Rect(8, 8, 8, 8))]]
+        targets = model.encode_targets(labels)
+        gy, gx = small_config.cells_y, small_config.cells_x
+        raw = np.zeros((1, small_config.out_channels, gy, gx), dtype=np.float32)
+        raw[0, 0] = -12.0  # no object anywhere...
+        row, col = np.argwhere(targets["obj"][0] > 0)[0]
+        raw[0, 0, row, col] = 12.0  # ...except the labeled cell
+        box_t = targets["box"][0, :, row, col]
+        eps = 1e-5
+        logits = np.log(np.clip(box_t, eps, 1 - eps) / np.clip(1 - box_t, eps, 1 - eps))
+        raw[0, 1:5, row, col] = logits
+        raw[0, 5, row, col] = -12.0
+        raw[0, 6, row, col] = 12.0  # class 1
+        loss, _ = model.loss_and_grad(raw, targets)
+        assert loss < 0.05
+
+
+class TestDecode:
+    def test_decode_confident_cell(self, model, small_config):
+        gy, gx = small_config.cells_y, small_config.cells_x
+        raw = np.full((small_config.out_channels, gy, gx), -10.0, dtype=np.float32)
+        raw[0, 1, 1] = 10.0   # objectness
+        raw[1:5, 1, 1] = 0.0  # box center mid-cell, medium size
+        raw[5, 1, 1] = 6.0    # class 0 (AGO)
+        dets = model.decode(raw)
+        assert len(dets) == 1
+        assert dets[0].label == "AGO"
+        assert dets[0].score > 0.9
+        cx, cy = dets[0].rect.center
+        assert 8 < cx < 16 and 8 < cy < 16  # inside cell (1,1)
+
+    def test_decode_respects_threshold(self, model, small_config):
+        gy, gx = small_config.cells_y, small_config.cells_x
+        raw = np.full((small_config.out_channels, gy, gx), -10.0, dtype=np.float32)
+        raw[0, 0, 0] = 0.0  # p=0.5
+        assert model.decode(raw, conf_threshold=0.6) == []
+        assert len(model.decode(raw, conf_threshold=0.4)) == 1
+
+
+class TestStateDict:
+    def test_roundtrip_preserves_inference(self, small_config):
+        a = TinyYolo(small_config, seed=1)
+        ds = synthetic_dataset(8)
+        YoloTrainer(a, lr=5e-3, batch_size=4).fit(ds, epochs=2)
+        b = TinyYolo(small_config, seed=99)
+        b.load_state_dict(a.state_dict())
+        x = ds.images[:4]
+        assert np.allclose(a.predict_raw(x), b.predict_raw(x), atol=1e-5)
+
+    def test_savez_roundtrip(self, small_config, tmp_path):
+        a = TinyYolo(small_config, seed=1)
+        ds = synthetic_dataset(8)
+        YoloTrainer(a, lr=5e-3, batch_size=4).fit(ds, epochs=2)
+        path = tmp_path / "state.npz"
+        np.savez(path, **a.state_dict())
+        loaded = dict(np.load(path))
+        b = TinyYolo(small_config, seed=7)
+        b.load_state_dict(loaded)
+        x = ds.images[:2]
+        assert np.allclose(a.predict_raw(x), b.predict_raw(x), atol=1e-5)
+
+    def test_set_weights_shape_mismatch_raises(self, small_config):
+        a = TinyYolo(small_config, seed=0)
+        weights = a.get_weights()
+        weights[0] = weights[0][..., :1]
+        with pytest.raises(ValueError):
+            a.set_weights(weights)
+
+
+class TestTraining:
+    def test_loss_decreases(self, small_config):
+        model = TinyYolo(small_config, seed=2)
+        ds = synthetic_dataset(24)
+        trainer = YoloTrainer(model, lr=3e-3, batch_size=8, seed=0)
+        history = trainer.fit(ds, epochs=12)
+        assert history.losses[-1] < history.losses[0] * 0.5
+
+    def test_learns_the_toy_task(self, small_config):
+        """After training, the model must localize and classify squares."""
+        model = TinyYolo(small_config, seed=3)
+        ds = synthetic_dataset(32, seed=5)
+        trainer = YoloTrainer(model, lr=3e-3, batch_size=8, seed=0)
+        trainer.fit(ds, epochs=40)
+        hits = 0
+        total = 0
+        for i in range(len(ds)):
+            dets = model.detect_batch(ds.images[i:i + 1], conf_threshold=0.4)[0]
+            cls, truth = ds.labels[i][0]
+            total += 1
+            for d in dets:
+                if d.label == ("AGO", "UPO")[cls] and iou(d.rect, truth) > 0.4:
+                    hits += 1
+                    break
+        assert hits / total > 0.7
+
+    def test_trainer_rejects_bad_batch(self, model):
+        with pytest.raises(ValueError):
+            YoloTrainer(model, batch_size=0)
+
+    def test_validation_loss_tracked(self, small_config):
+        model = TinyYolo(small_config, seed=4)
+        ds = synthetic_dataset(16)
+        val = synthetic_dataset(8, seed=9)
+        history = YoloTrainer(model, batch_size=8).fit(ds, epochs=3,
+                                                       val_dataset=val)
+        assert len(history.val_losses) == 3
