@@ -6,7 +6,7 @@ Paper: raising ct from 50ms to 200ms keeps 94.1% of the AUIs
 little additional saving — hence ct=200ms.
 """
 
-from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet
+from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet_parallel
 from repro.bench.plotting import ascii_line_chart
 from repro.bench.tables import echo
 
@@ -19,7 +19,7 @@ def test_fig8_coverage_vs_interval(benchmark):
     def run():
         out = {}
         for ct in INTERVALS:
-            results = run_darpa_over_fleet(sessions, "oracle", ct_ms=float(ct),
+            results = run_darpa_over_fleet_parallel(sessions, "oracle", ct_ms=float(ct),
                                            mode="full")
             out[ct] = {
                 "screens_analyzed": sum(r.screens_analyzed for r in results),

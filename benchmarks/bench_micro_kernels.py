@@ -3,8 +3,14 @@
 These use pytest-benchmark's repeated timing (no pedantic one-shots):
 the conv forward pass, the IoU matrix, NMS, screen rendering, and the
 end-to-end per-frame detection latency that the paper's overhead model
-depends on.
+depends on.  The batched-vs-looped comparison additionally persists its
+timings to ``BENCH_kernels.json`` at the repository root, so the
+serving-path speedup is machine-checkable across commits.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,6 +20,7 @@ from repro.datagen import build_aui_screen
 from repro.datagen.specs import AuiType, SampleSpec
 from repro.geometry import Rect, ScoredBox, non_max_suppression, pairwise_iou
 from repro.imaging.color import PALETTE
+from repro.vision.dataset import to_input_tensor
 from repro.vision.nn import Conv2D
 
 
@@ -68,3 +75,52 @@ def test_micro_detect_screen_latency(benchmark, trained_model, screen_image):
     """Per-frame end-to-end latency (preprocess + CNN + refine)."""
     dets = benchmark(lambda: trained_model.detect_screen(screen_image))
     assert isinstance(dets, list)
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    """Best-of-N wall time in milliseconds (one warmup call first)."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def test_micro_batched_vs_looped_forward(trained_model, test_dataset):
+    """Batched plan forward vs the legacy per-image training-graph
+    forward, at batch sizes 1/8/32; persists ``BENCH_kernels.json``.
+
+    The acceptance bar for the serving path: one batch-32 plan forward
+    beats 32 legacy size-1 forwards by at least 3x.
+    """
+    images = test_dataset.screen_images[:32]
+    assert len(images) == 32
+    x = np.stack([to_input_tensor(img) for img in images])
+    plan = trained_model.inference_plan()
+
+    batched = {}
+    looped = {}
+    for n in (1, 8, 32):
+        xb = x[:n]
+        batched[n] = _best_of(lambda: plan.forward(xb))
+        looped[n] = _best_of(lambda: [
+            trained_model.forward(xb[i:i + 1], training=False)
+            for i in range(n)
+        ])
+    speedup = {n: looped[n] / batched[n] for n in batched}
+    payload = {
+        "kernel": "tiny_yolo_forward",
+        "input_shape": list(x.shape[1:]),
+        "batched_forward_ms": {str(n): round(v, 3) for n, v in batched.items()},
+        "looped_forward_ms": {str(n): round(v, 3) for n, v in looped.items()},
+        "speedup": {str(n): round(v, 3) for n, v in speedup.items()},
+    }
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nbatched-vs-looped forward (ms): {payload['batched_forward_ms']} "
+          f"vs {payload['looped_forward_ms']} -> speedup {payload['speedup']}")
+    assert speedup[32] >= 3.0, (
+        f"batch-32 plan must be >=3x faster than 32 size-1 forwards, "
+        f"got {speedup[32]:.2f}x")

@@ -10,7 +10,7 @@ UPO-bearing screenshots and 253 non-AUI screenshots:
 """
 
 from repro.baselines import FraudDroidDetector
-from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet
+from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet_parallel
 from repro.bench.tables import echo
 from repro.vision import PortConfig, port_model
 from repro.vision.metrics import ScreenConfusion
@@ -22,7 +22,7 @@ def test_table6_darpa_vs_frauddroid(benchmark, trained_model):
     frauddroid = FraudDroidDetector()
 
     def run():
-        results = run_darpa_over_fleet(sessions, ported, ct_ms=200.0,
+        results = run_darpa_over_fleet_parallel(sessions, ported, ct_ms=200.0,
                                        mode="full", frauddroid=frauddroid)
         darpa = ScreenConfusion()
         fraud = ScreenConfusion()

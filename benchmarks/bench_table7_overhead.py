@@ -9,7 +9,7 @@ of +4.6% CPU, +2.8% memory, −8.6% frame rate, +6.8% power.
 
 import numpy as np
 
-from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet
+from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet_parallel
 from repro.vision import PortConfig, port_model
 
 PAPER_ROWS = {
@@ -42,7 +42,7 @@ def test_table7_performance_overhead(benchmark, trained_model):
     def run():
         out = {}
         for label, mode in MODES.items():
-            results = run_darpa_over_fleet(sessions, ported, ct_ms=200.0,
+            results = run_darpa_over_fleet_parallel(sessions, ported, ct_ms=200.0,
                                            mode=mode)
             out[label] = _mean_report(results)
         return out

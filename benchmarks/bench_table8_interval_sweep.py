@@ -10,7 +10,7 @@ whatever model sits behind them.
 
 import numpy as np
 
-from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet
+from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet_parallel
 
 PAPER_ROWS = {
     50: (86.5, 4452.53, 59, 586.92),
@@ -30,7 +30,7 @@ def test_table8_interval_sweep(benchmark):
     def run():
         out = {}
         for ct in INTERVALS:
-            results = run_darpa_over_fleet(sessions, "oracle", ct_ms=float(ct),
+            results = run_darpa_over_fleet_parallel(sessions, "oracle", ct_ms=float(ct),
                                            mode="full")
             out[ct] = (
                 float(np.mean([r.perf.cpu_pct for r in results])),

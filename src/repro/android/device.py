@@ -28,6 +28,7 @@ class PerfOp(Enum):
     EVENT_DELIVERED = "event_delivered"
     SCREENSHOT = "screenshot"
     INFERENCE = "inference"
+    CACHE_PROBE = "cache_probe"
     DECORATION = "decoration"
     APP_FRAME = "app_frame"
 
@@ -56,6 +57,9 @@ class DeviceProfile:
     screenshot_cpu_ms: float = 30.0
     inference_cpu_ms: float = 100.0
     decoration_cpu_ms: float = 3.0
+    # Fingerprinting a settled frame and probing the detection cache
+    # (one grid average-pool + hash lookup; no CNN).
+    cache_probe_cpu_ms: float = 2.0
 
     # Resident memory charged while components are loaded (MB).
     monitoring_memory_mb: float = 60.2
@@ -69,6 +73,7 @@ class DeviceProfile:
     event_power_mj: float = 0.16
     screenshot_power_mj: float = 25.0
     inference_power_mj: float = 110.0
+    cache_probe_power_mj: float = 1.5
     decoration_power_mj: float = 2.0
 
     # Frame-rate penalty: every main-thread CPU-ms stolen per second of
@@ -131,6 +136,7 @@ class PerfMeter:
             self._counts[PerfOp.EVENT_DELIVERED] * p.event_cpu_ms
             + self._counts[PerfOp.SCREENSHOT] * p.screenshot_cpu_ms
             + self._counts[PerfOp.INFERENCE] * p.inference_cpu_ms
+            + self._counts[PerfOp.CACHE_PROBE] * p.cache_probe_cpu_ms
             + self._counts[PerfOp.DECORATION] * p.decoration_cpu_ms
         )
         cpu_pct = p.baseline_cpu_pct + cpu_ms / duration_ms * 100.0
@@ -154,6 +160,7 @@ class PerfMeter:
             self._counts[PerfOp.EVENT_DELIVERED] * p.event_power_mj
             + self._counts[PerfOp.SCREENSHOT] * p.screenshot_power_mj
             + self._counts[PerfOp.INFERENCE] * p.inference_power_mj
+            + self._counts[PerfOp.CACHE_PROBE] * p.cache_probe_power_mj
             + self._counts[PerfOp.DECORATION] * p.decoration_power_mj
         )
         power_mw = p.baseline_power_mw + power_mj / seconds

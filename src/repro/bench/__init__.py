@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     get_trained_model,
     run_darpa_over_fleet,
 )
+from repro.bench.parallel import run_darpa_over_fleet_parallel
 
 __all__ = [
     "BenchCache",
@@ -32,4 +33,5 @@ __all__ = [
     "get_test_dataset",
     "get_trained_model",
     "run_darpa_over_fleet",
+    "run_darpa_over_fleet_parallel",
 ]

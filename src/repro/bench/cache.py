@@ -11,6 +11,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
+import zipfile
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
@@ -45,10 +47,22 @@ class BenchCache:
 
     def store(self, name: str, config: Dict,
               arrays: Dict[str, np.ndarray]) -> Path:
+        """Atomically persist ``arrays`` under the config fingerprint.
+
+        Safe under concurrent writers (e.g. the parallel fleet runner's
+        workers warming the same artifact): each writer stages to its
+        own uniquely-named temp file in the cache directory and then
+        atomically renames over the target, so readers only ever see a
+        complete ``.npz`` and the last finished writer wins.
+        """
         path = self._path(name, config)
-        tmp = path.with_suffix(".tmp.npz")
-        np.savez(tmp, **arrays)
-        tmp.replace(path)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{uuid.uuid4().hex}.npz")
+        try:
+            np.savez(tmp, **arrays)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return path
 
     def get_or_build(
@@ -57,9 +71,17 @@ class BenchCache:
         config: Dict,
         builder: Callable[[], Dict[str, np.ndarray]],
     ) -> Dict[str, np.ndarray]:
-        """Load the cached artifact or build + persist it."""
+        """Load the cached artifact or build + persist it.
+
+        An artifact that exists but cannot be read back (truncated or
+        corrupt archive) is treated as a miss and rebuilt in place —
+        a stale half-written file must never poison every later run.
+        """
         if self.has(name, config):
-            return self.load(name, config)
+            try:
+                return self.load(name, config)
+            except (OSError, ValueError, zipfile.BadZipFile):
+                pass  # fall through and rebuild
         arrays = builder()
         self.store(name, config, arrays)
         return arrays

@@ -108,11 +108,22 @@ def evaluate_detector(
     conf_threshold: float = DEFAULT_CONF_THRESHOLD,
     refine: bool = True,
     iou_threshold: float = 0.9,
+    batch_size: int = 32,
 ) -> EvalResult:
     """Paper protocol: per-class P/R/F1 at IoU 0.9 over a split."""
     if dataset.screen_images is None:
         raise ValueError("evaluation needs keep_screen_images=True")
     evaluator = DetectionEvaluator(iou_threshold=iou_threshold)
+    if hasattr(detector, "detect_screens"):
+        # Batched serving path: chunks of screenshots go through one
+        # plan forward each (see repro.vision.nn.infer); results are
+        # bit-identical to the per-image loop below.
+        for start in range(0, len(dataset), batch_size):
+            images = dataset.screen_images[start:start + batch_size]
+            for offset, dets in enumerate(detector.detect_screens(
+                    images, refine=refine, conf_threshold=conf_threshold)):
+                evaluator.add_image(dets, dataset.screen_labels[start + offset])
+        return evaluator.result()
     for i in range(len(dataset)):
         if hasattr(detector, "detect_screen"):
             try:

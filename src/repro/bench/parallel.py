@@ -1,0 +1,105 @@
+"""Parallel fleet execution for the runtime benchmarks.
+
+A fleet run (Tables VI-VIII, Figure 8) is embarrassingly parallel: each
+session owns its device, clock, app and service, and every source of
+randomness is keyed off the session's *global* index
+(``monkey_seed = 1000 + index``), never off worker identity or
+scheduling order.  That makes the parallel runner a drop-in for
+:func:`repro.bench.experiments.run_darpa_over_fleet`: the merged result
+list is deterministic and identical to the sequential one for any
+worker or shard count, which the determinism tests assert.
+
+Sessions are dealt into ``n_shards`` index shards; each worker process
+replays its shard sequentially and ships back ``(index, result)``
+pairs, which the parent reassembles in fleet order.  Workers are forked
+where the platform allows it (the memoized corpus and model are then
+inherited copy-on-write instead of re-pickled).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.experiments import (
+    DEFAULT_CONF_THRESHOLD,
+    FleetSession,
+    SessionResult,
+    run_darpa_over_fleet,
+    run_darpa_session,
+)
+
+
+def _run_shard(payload) -> List[Tuple[int, SessionResult]]:
+    """Worker entry: replay one shard of (global index, session) pairs."""
+    indices, sessions, detector, ct_ms, mode, frauddroid, conf = payload
+    out: List[Tuple[int, SessionResult]] = []
+    for index, session in zip(indices, sessions):
+        result = run_darpa_session(
+            session, detector, ct_ms=ct_ms, mode=mode,
+            monkey_seed=1000 + index, frauddroid=frauddroid,
+            conf_threshold=conf,
+        )
+        out.append((index, result))
+    return out
+
+
+def _pool_context():
+    """Prefer fork (cheap, copy-on-write memos); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def run_darpa_over_fleet_parallel(
+    sessions: Sequence[FleetSession],
+    detector,
+    ct_ms: float = 200.0,
+    mode: str = "full",
+    frauddroid=None,
+    conf_threshold: float = DEFAULT_CONF_THRESHOLD,
+    n_workers: Optional[int] = None,
+    n_shards: Optional[int] = None,
+) -> List[SessionResult]:
+    """Run a fleet across worker processes; results in fleet order.
+
+    ``n_workers`` defaults to the machine's core count (capped by the
+    fleet size); ``n_shards`` defaults to ``n_workers``.  With one
+    worker (or a one-session fleet) the sequential runner is called
+    inline — no pool, no pickling.
+    """
+    n = len(sessions)
+    if n_workers is None:
+        n_workers = min(n, os.cpu_count() or 1)
+    n_workers = max(1, min(n_workers, n)) if n else 1
+    if n_workers <= 1 or n <= 1:
+        return run_darpa_over_fleet(
+            sessions, detector, ct_ms=ct_ms, mode=mode,
+            frauddroid=frauddroid, conf_threshold=conf_threshold)
+    if n_shards is None:
+        n_shards = n_workers
+    n_shards = max(1, min(n_shards, n))
+
+    # Contiguous index shards.  The split is cosmetic for determinism —
+    # seeds travel with the global index — but contiguity keeps each
+    # worker's wall-clock profile close to the sequential runner's.
+    bounds = [round(i * n / n_shards) for i in range(n_shards + 1)]
+    payloads = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if lo == hi:
+            continue
+        indices = list(range(lo, hi))
+        payloads.append((indices, list(sessions[lo:hi]), detector, ct_ms,
+                         mode, frauddroid, conf_threshold))
+
+    merged: List[Optional[SessionResult]] = [None] * n
+    with ProcessPoolExecutor(max_workers=n_workers,
+                             mp_context=_pool_context()) as pool:
+        for shard in pool.map(_run_shard, payloads):
+            for index, result in shard:
+                merged[index] = result
+    assert all(r is not None for r in merged), "lost a session result"
+    return merged  # type: ignore[return-value]

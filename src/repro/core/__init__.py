@@ -23,6 +23,7 @@ from repro.core.security import (
     ScreenshotPolicy,
 )
 from repro.core.pipeline import DarpaService, DarpaStats
+from repro.core.screencache import ScreenFingerprintCache
 
 __all__ = [
     "DarpaConfig",
@@ -35,4 +36,5 @@ __all__ = [
     "ScreenshotPolicy",
     "DarpaService",
     "DarpaStats",
+    "ScreenFingerprintCache",
 ]

@@ -53,6 +53,11 @@ class DarpaConfig:
     #: that never read pixels, e.g. ground-truth oracles in the ct
     #: sweeps).  All perf accounting is unaffected.
     stub_screenshots: bool = False
+    #: Entry capacity of the screen-fingerprint detection cache
+    #: (:mod:`repro.core.screencache`); 0 disables caching.  The cache
+    #: is also bypassed under ``stub_screenshots`` — stub frames carry
+    #: no pixels to fingerprint.
+    screen_cache_size: int = 64
     style: DecorationStyle = field(default_factory=DecorationStyle)
 
     def __post_init__(self) -> None:
@@ -60,3 +65,5 @@ class DarpaConfig:
             raise ValueError("ct must be non-negative")
         if not 0.0 < self.conf_threshold < 1.0:
             raise ValueError("confidence threshold must be in (0, 1)")
+        if self.screen_cache_size < 0:
+            raise ValueError("screen cache size must be non-negative")

@@ -26,6 +26,7 @@ from repro.android.events import AccessibilityEvent, TYPES_ALL_MASK
 from repro.core.config import DarpaConfig
 from repro.core.debounce import CutoffDebouncer
 from repro.core.decorator import ViewDecorator
+from repro.core.screencache import ScreenFingerprintCache
 from repro.core.security import ScreenshotPolicy
 
 
@@ -68,6 +69,10 @@ class DarpaStats:
     auis_flagged: int = 0
     decorations_drawn: int = 0
     bypass_clicks: int = 0
+    #: Settled screens answered from the fingerprint cache (no CNN run)
+    #: vs. screens that went through the detector.
+    cache_hits: int = 0
+    cache_misses: int = 0
     records: List[AnalysisRecord] = field(default_factory=list)
 
 
@@ -91,6 +96,13 @@ class DarpaService:
             device.clock, self.config.ct_ms, self._on_settled
         )
         self.stats = DarpaStats()
+        # The fingerprint cache only makes sense over real pixels:
+        # stubbed runs capture 1x1 placeholder frames that would all
+        # collide on one key and replay wrong detections.
+        self._screen_cache: Optional[ScreenFingerprintCache] = None
+        if self.config.screen_cache_size > 0 and not self.config.stub_screenshots:
+            self._screen_cache = ScreenFingerprintCache(
+                capacity=self.config.screen_cache_size)
         self._running = False
 
     # -- lifecycle --------------------------------------------------------
@@ -115,6 +127,11 @@ class DarpaService:
     def running(self) -> bool:
         return self._running
 
+    @property
+    def screen_cache(self) -> Optional[ScreenFingerprintCache]:
+        """The fingerprint cache, or None when disabled."""
+        return self._screen_cache
+
     # -- event flow -----------------------------------------------------------
 
     def _on_event(self, event: AccessibilityEvent) -> None:
@@ -133,12 +150,27 @@ class DarpaService:
         self.decorator.remove_all()
         with self.policy.analyzed_screenshot(
                 self.service, stub=self.config.stub_screenshots) as shot:
-            detections = self.detector.detect_screen(
-                shot.pixels,
-                refine=self.config.refine_boxes,
-                conf_threshold=self.config.conf_threshold,
-            )
-        self.device.perf.record(PerfOp.INFERENCE)
+            detections = None
+            key = None
+            if self._screen_cache is not None:
+                # Probe before the CNN: fingerprinting + lookup is ~2
+                # CPU-ms against 100 for an inference (Table VII).
+                key = self._screen_cache.fingerprint(shot.pixels)
+                self.device.perf.record(PerfOp.CACHE_PROBE)
+                detections = self._screen_cache.get(key)
+            if detections is None:
+                if self._screen_cache is not None:
+                    self.stats.cache_misses += 1
+                detections = self.detector.detect_screen(
+                    shot.pixels,
+                    refine=self.config.refine_boxes,
+                    conf_threshold=self.config.conf_threshold,
+                )
+                self.device.perf.record(PerfOp.INFERENCE)
+                if self._screen_cache is not None:
+                    self._screen_cache.put(key, detections)
+            else:
+                self.stats.cache_hits += 1
         record = AnalysisRecord(
             timestamp_ms=self.device.clock.now_ms,
             package=event.package,

@@ -1,0 +1,129 @@
+"""Screen-fingerprint detection cache (serving-path optimization).
+
+Mobile UI streams are massively repetitive: the same settled screen
+re-appears every time a dialog is dismissed and re-opened, a tab is
+revisited, or a scroll returns to its anchor.  Running the full CNN on
+each recurrence wastes the costliest operation in DARPA's budget
+(Table VII charges 100 CPU-ms per inference vs 30 per screenshot).
+
+:class:`ScreenFingerprintCache` memoizes detector outputs behind a
+perceptual fingerprint of the settled screenshot:
+
+* the frame is average-pooled onto a small grid (16x16 by default),
+  per channel, which is invariant to imperceptible pixel noise but
+  sensitive to any real layout change — a moved button shifts cell
+  means by whole color steps;
+* cell means are quantized to a few intensity levels and the resulting
+  byte string is the cache key;
+* entries live in an LRU of bounded capacity, so a long session cannot
+  grow memory without bound (the eviction order is recency-of-use, the
+  access pattern screens actually exhibit).
+
+The cache is consulted by :class:`repro.core.pipeline.DarpaService`
+before the detector; a hit replays the stored detections and skips the
+CNN entirely, charging only a cheap ``CACHE_PROBE`` op to the device
+cost model (see :mod:`repro.android.device`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.nms import ScoredBox
+
+
+class ScreenFingerprintCache:
+    """An LRU of detector outputs keyed by perceptual screen hash."""
+
+    def __init__(self, capacity: int = 64, grid: int = 16,
+                 levels: int = 32):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if grid < 1:
+            raise ValueError("fingerprint grid must be >= 1")
+        if not 2 <= levels <= 256:
+            raise ValueError("quantization levels must be in [2, 256]")
+        self.capacity = capacity
+        self.grid = grid
+        self.levels = levels
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[bytes, List[ScoredBox]]" = OrderedDict()
+
+    # -- fingerprinting --------------------------------------------------
+
+    def fingerprint(self, pixels: np.ndarray) -> bytes:
+        """Perceptual hash of one (H, W) or (H, W, C) screenshot."""
+        raw = np.asarray(pixels)
+        arr = raw.astype(np.float64)
+        if np.issubdtype(raw.dtype, np.integer):
+            arr /= 255.0  # normalize 8-bit rasters to the [0, 1] range
+        if arr.ndim == 2:
+            arr = arr[:, :, None]
+        if arr.ndim != 3:
+            raise ValueError(f"expected (H, W[, C]) pixels, got {arr.shape}")
+        h, w, _ = arr.shape
+        gy = min(self.grid, h)
+        gx = min(self.grid, w)
+        # Average-pool onto the (gy, gx) grid with near-equal cells.
+        ys = np.linspace(0, h, gy + 1).astype(np.int64)
+        xs = np.linspace(0, w, gx + 1).astype(np.int64)
+        # Row/column prefix sums make each cell mean O(1).
+        integral = arr.cumsum(axis=0).cumsum(axis=1)
+        padded = np.zeros((h + 1, w + 1, arr.shape[2]))
+        padded[1:, 1:] = integral
+        sums = (padded[ys[1:], :, :][:, xs[1:], :]
+                - padded[ys[1:], :, :][:, xs[:-1], :]
+                - padded[ys[:-1], :, :][:, xs[1:], :]
+                + padded[ys[:-1], :, :][:, xs[:-1], :])
+        areas = ((ys[1:] - ys[:-1])[:, None]
+                 * (xs[1:] - xs[:-1])[None, :]).astype(np.float64)
+        means = sums / areas[:, :, None]
+        # Quantize to `levels` steps over the [0, 1] intensity range,
+        # rounding to the *nearest* step rather than flooring: flat UI
+        # regions produce cell means that sit exactly on step multiples
+        # (palette colors are simple fractions), and floor quantization
+        # would let per-screenshot sensor noise flip those cells across
+        # a bucket boundary.  Round-to-nearest puts them at bucket
+        # centers, a half-step away from the nearest boundary.
+        quantized = np.clip(np.floor(means * self.levels + 0.5), 0,
+                            self.levels - 1).astype(np.uint8)
+        return quantized.tobytes()
+
+    # -- LRU -------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[List[ScoredBox]]:
+        """Return the cached detections for ``key``, counting the probe."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return list(entry)
+
+    def put(self, key: bytes, detections: Sequence[ScoredBox]) -> None:
+        self._entries[key] = list(detections)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def lookup(self, pixels: np.ndarray) -> Optional[List[ScoredBox]]:
+        """Fingerprint + get in one call (convenience for tests)."""
+        return self.get(self.fingerprint(pixels))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

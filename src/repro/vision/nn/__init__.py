@@ -30,6 +30,7 @@ from repro.vision.nn.losses import (
 )
 from repro.vision.nn.optim import SGD, Adam
 from repro.vision.nn.gradcheck import numerical_gradient, check_layer_gradients
+from repro.vision.nn.infer import InferencePlan, fold_batchnorm, fold_conv_bn
 
 __all__ = [
     "BatchNorm2D",
@@ -52,4 +53,7 @@ __all__ = [
     "Adam",
     "numerical_gradient",
     "check_layer_gradients",
+    "InferencePlan",
+    "fold_batchnorm",
+    "fold_conv_bn",
 ]

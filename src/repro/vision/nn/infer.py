@@ -1,0 +1,272 @@
+"""Inference-mode fast path for the NN library.
+
+Training needs layer caches, per-step allocations and explicit
+BatchNorm statistics; serving needs none of that.  This module compiles
+a trained layer stack into an :class:`InferencePlan` that applies the
+standard mobile-engine optimizations:
+
+1. **BatchNorm folding** — every Conv→BN pair is fused into a single
+   convolution with rescaled weights (the same transform the ncnn-like
+   port in :mod:`repro.vision.porting` applies at export time), so the
+   deployed graph runs fewer kernels;
+2. **Channels-last execution** — the plan runs NHWC internally.  The
+   GEMM output of a convolution *is* the next layer's NHWC activation
+   (no transposes between layers), im2col patch rows become a few
+   contiguous memcpy runs instead of per-element gathers, and 1x1
+   convolutions skip im2col entirely.  Weights are pre-reordered to
+   (kh*kw*c, oc) at compile time;
+3. **Operator fusion** — each Conv→LeakyReLU→MaxPool run is one step:
+   the activation is applied in place on the GEMM scratch and the pool
+   reduces it with pairwise maxima, so the big pre-pool tensor is never
+   rematerialized;
+4. **Buffer reuse** — the padded input, im2col matrix, GEMM output and
+   activation temporary of each step are preallocated once per
+   (step, input-shape) and overwritten on every call;
+5. **Batched execution** — a plan forward over an ``(N, C, H, W)``
+   stack runs one im2col per layer for all N images, instead of N
+   size-1 forwards, which is where dataset-wide evaluation loops win
+   their wall-clock.
+
+The plan is numerically deterministic: for a given weight state, the
+per-image outputs of a batched forward are bit-identical to the outputs
+of the same plan run image-by-image.  The GEMM of each convolution is
+issued per image over fixed-shape slices of the shared scratch, because
+BLAS kernel selection depends on the row count — a single tall GEMM
+over all n*oh*ow rows can round differently from the batch-1 call.
+Everything else in a step is elementwise or a windowed max, neither of
+which depends on the batch dimension.  The equivalence tests assert
+this bit-identity.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.vision.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    Parameter,
+)
+
+
+def fold_conv_bn(conv: Conv2D, bn: BatchNorm2D) -> Conv2D:
+    """Return a new Conv2D computing ``bn(conv(x))`` in one op.
+
+    Uses the BN *running* statistics, i.e. the inference-mode
+    normalization.  A bias-free convolution gains a bias parameter to
+    carry the folded shift.
+    """
+    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    scale = bn.gamma.value * inv_std  # per out-channel
+    folded = copy.deepcopy(conv)
+    folded.weight.value = (conv.weight.value
+                           * scale[:, None, None, None]).astype(np.float32)
+    bias = conv.bias.value if conv.bias is not None else 0.0
+    new_bias = (bias - bn.running_mean) * scale + bn.beta.value
+    if folded.bias is None:
+        folded.bias = Parameter(np.zeros(conv.weight.shape[0]),
+                                name="conv.bias")
+    folded.bias.value = new_bias.astype(np.float32)
+    return folded
+
+
+def fold_batchnorm(layers: Sequence[Layer]) -> List[Layer]:
+    """Rewrite a layer list with every Conv→BN pair fused.
+
+    Fused convolutions are fresh objects; all other layers are passed
+    through unchanged (they hold no inference-relevant state).
+    """
+    out: List[Layer] = []
+    i = 0
+    seq = list(layers)
+    while i < len(seq):
+        layer = seq[i]
+        nxt = seq[i + 1] if i + 1 < len(seq) else None
+        if isinstance(layer, Conv2D) and isinstance(nxt, BatchNorm2D):
+            out.append(fold_conv_bn(layer, nxt))
+            i += 2
+        else:
+            out.append(layer)
+            i += 1
+    return out
+
+
+@dataclass(eq=False)
+class _ConvStep:
+    """A fused Conv [+ LeakyReLU] [+ MaxPool] execution step."""
+
+    idx: int
+    conv: Conv2D
+    slope: Optional[float]  # LeakyReLU slope, or None
+    pool: Optional[int]     # MaxPool size, or None
+    #: weight matrix reordered for NHWC patches: (kh*kw*c, oc)
+    wt: np.ndarray = field(repr=False)
+
+
+@dataclass(eq=False)
+class _LayerStep:
+    """A pass-through step for any layer the compiler does not fuse.
+
+    Pass-through layers see standard NCHW tensors; the executor
+    converts layout around them.
+    """
+
+    layer: Layer
+
+
+class InferencePlan:
+    """A compiled, eval-only executor for a layer stack.
+
+    Build one from a trained stack and call :meth:`forward` with any
+    batch size; buffers are grown lazily per distinct input shape and
+    reused afterwards.  The plan snapshots the weights at build time
+    (folding and reordering copy the convolutions), so it must be
+    rebuilt after the source model trains or loads new weights —
+    :class:`TinyYolo` does this automatically.
+
+    The returned array is freshly allocated per call and safe to keep.
+    """
+
+    def __init__(self, layers: Sequence[Layer], fold_bn: bool = True):
+        self.layers: List[Layer] = (fold_batchnorm(layers) if fold_bn
+                                    else list(layers))
+        self._steps = self._compile(self.layers)
+        # Per-(step, input-shape) scratch buffers, all NHWC.
+        self._pads: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._cols: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._outs: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._tmps: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._pools: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+
+    @staticmethod
+    def _compile(layers: Sequence[Layer]) -> List[object]:
+        steps: List[object] = []
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            if not isinstance(layer, Conv2D):
+                steps.append(_LayerStep(layer))
+                i += 1
+                continue
+            slope: Optional[float] = None
+            pool: Optional[int] = None
+            j = i + 1
+            if (j < len(layers) and isinstance(layers[j], LeakyReLU)
+                    and 0.0 <= layers[j].slope <= 1.0):
+                slope = layers[j].slope
+                j += 1
+            if j < len(layers) and isinstance(layers[j], MaxPool2D):
+                pool = layers[j].size
+                j += 1
+            # (oc, c, kh, kw) -> (kh, kw, c, oc) flattened to match the
+            # NHWC patch layout of the im2col rows.
+            wt = np.ascontiguousarray(
+                layer.weight.value.transpose(2, 3, 1, 0).reshape(
+                    -1, layer.weight.shape[0]))
+            steps.append(_ConvStep(idx=i, conv=layer, slope=slope, pool=pool,
+                                   wt=wt))
+            i = j
+        return steps
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the stack over an (N, C, H, W) batch; returns NCHW."""
+        h = np.ascontiguousarray(x.transpose(0, 2, 3, 1), dtype=np.float32)
+        for step in self._steps:
+            if isinstance(step, _ConvStep):
+                h = self._conv_forward(step, h)
+            else:
+                nchw = np.ascontiguousarray(h.transpose(0, 3, 1, 2))
+                nchw = step.layer.forward(nchw, training=False)
+                h = np.ascontiguousarray(nchw.transpose(0, 2, 3, 1))
+        return np.ascontiguousarray(h.transpose(0, 3, 1, 2))
+
+    __call__ = forward
+
+    # -- internals ------------------------------------------------------
+
+    def _buffer(self, pool: Dict, key, shape,
+                zero: bool = False) -> np.ndarray:
+        buf = pool.get(key)
+        if buf is None:
+            alloc = np.zeros if zero else np.empty
+            buf = alloc(shape, dtype=np.float32)
+            pool[key] = buf
+        return buf
+
+    def _conv_forward(self, step: _ConvStep, x: np.ndarray) -> np.ndarray:
+        """One fused step over an NHWC activation; returns NHWC."""
+        conv = step.conv
+        n, h, w, c = x.shape
+        k, s, p = conv.kernel, conv.stride, conv.pad
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        oc = step.wt.shape[1]
+        key = (step.idx, x.shape)
+        if k == 1 and s == 1 and p == 0:
+            cols = x.reshape(n * h * w, c)  # 1x1 conv: patches are rows
+        else:
+            if p:
+                # Zero-filled once; the border stays zero, only the
+                # interior is rewritten per call.
+                padded = self._buffer(self._pads, key,
+                                      (n, h + 2 * p, w + 2 * p, c), zero=True)
+                padded[:, p:p + h, p:p + w, :] = x
+            else:
+                padded = x
+            sn, sh, sw, sc = padded.strides
+            windows = as_strided(
+                padded,
+                shape=(n, oh, ow, k, k, c),
+                strides=(sn, sh * s, sw * s, sh, sw, sc),
+            )
+            cols = self._buffer(self._cols, key, (n * oh * ow, k * k * c))
+            # Each patch row is k contiguous runs of k*c floats — the
+            # whole copy is memcpy-shaped, unlike the per-element
+            # gathers an NCHW layout would force.
+            np.copyto(cols.reshape(n, oh, ow, k, k, c), windows)
+        out = self._buffer(self._outs, key, (n * oh * ow, oc))
+        # One GEMM call per image, each over a fixed-shape (oh*ow, kkc)
+        # slice of the shared scratch.  BLAS kernel dispatch depends on
+        # the M dimension, so a single (n*oh*ow)-row GEMM is not
+        # guaranteed to reproduce the batch-1 rows bit-for-bit; equal
+        # per-call shapes are what make batched and per-image inference
+        # bit-identical.
+        rows = oh * ow
+        for j in range(n):
+            np.matmul(cols[j * rows:(j + 1) * rows], step.wt,
+                      out=out[j * rows:(j + 1) * rows])
+        if conv.bias is not None:
+            out += conv.bias.value
+        if step.slope is not None:
+            # leaky(x) == max(x, slope*x) for slope in [0, 1]; two
+            # passes over the contiguous scratch, no allocation.
+            tmp = self._buffer(self._tmps, key, out.shape)
+            np.multiply(out, step.slope, out=tmp)
+            np.maximum(out, tmp, out=out)
+        nhwc = out.reshape(n, oh, ow, oc)
+        if step.pool is None:
+            return nhwc
+        ps = step.pool
+        if oh % ps or ow % ps:
+            raise ValueError(
+                f"input {oh}x{ow} not divisible by pool size {ps}")
+        windows = nhwc.reshape(n, oh // ps, ps, ow // ps, ps, oc)
+        pooled = self._buffer(self._pools, key,
+                              (n, oh // ps, ow // ps, oc))
+        # Pairwise maxima over the ps*ps window offsets: each operand
+        # is a strided view whose innermost oc run is contiguous.
+        np.copyto(pooled, windows[:, :, 0, :, 0])
+        for dy in range(ps):
+            for dx in range(ps):
+                if dy == 0 and dx == 0:
+                    continue
+                np.maximum(pooled, windows[:, :, dy, :, dx], out=pooled)
+        return pooled

@@ -24,6 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.vision.nn.infer import fold_conv_bn
 from repro.vision.nn.layers import BatchNorm2D, Conv2D, Layer, LeakyReLU, MaxPool2D, Sequential
 from repro.vision.yolo import Detection, TinyYolo
 
@@ -62,18 +63,15 @@ def _quantize(array: np.ndarray, mode: str) -> np.ndarray:
 
 
 def _fold_bn_into_conv(conv: Conv2D, bn: BatchNorm2D) -> Conv2D:
-    """Return a new Conv2D computing conv followed by bn."""
-    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
-    scale = bn.gamma.value * inv_std  # per out-channel
-    folded = copy.deepcopy(conv)
-    folded.weight.value = (conv.weight.value
-                           * scale[:, None, None, None]).astype(np.float32)
-    bias = conv.bias.value if conv.bias is not None else 0.0
-    new_bias = (bias - bn.running_mean) * scale + bn.beta.value
-    if folded.bias is None:
+    """Return a new Conv2D computing conv followed by bn.
+
+    The arithmetic lives in :func:`repro.vision.nn.infer.fold_conv_bn`
+    (shared with the runtime inference plan); the export pipeline only
+    adds the graph-validity check.
+    """
+    if conv.bias is None:
         raise PortError("cannot fold BN into a bias-free convolution")
-    folded.bias.value = new_bias.astype(np.float32)
-    return folded
+    return fold_conv_bn(conv, bn)
 
 
 def _fold_sequential(seq: Sequential) -> List[Layer]:
@@ -114,6 +112,12 @@ class MobilePort:
                       conf_threshold: Optional[float] = None) -> List[Detection]:
         return self._model.detect_screen(screen_image, refine=refine,
                                          conf_threshold=conf_threshold)
+
+    def detect_screens(self, screen_images, refine: bool = True,
+                       conf_threshold: Optional[float] = None):
+        """Batched screen-space inference (see TinyYolo.detect_screens)."""
+        return self._model.detect_screens(screen_images, refine=refine,
+                                          conf_threshold=conf_threshold)
 
     def detect_batch(self, images: np.ndarray,
                      conf_threshold: Optional[float] = None):

@@ -34,6 +34,7 @@ from repro.vision.nn import (
     Adam,
     BatchNorm2D,
     Conv2D,
+    InferencePlan,
     LeakyReLU,
     MaxPool2D,
     Sequential,
@@ -99,12 +100,35 @@ class TinyYolo:
         self.head = Conv2D(in_ch, self.config.out_channels, kernel=1, pad=0,
                            rng=rng)
         self.grid = self.config.grid()
+        self._plan: Optional[InferencePlan] = None
 
     # -- plumbing -------------------------------------------------------
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            # Weights and BN statistics are about to change: any
+            # compiled inference plan is stale.
+            self._plan = None
         feats = self.backbone.forward(x, training=training)
         return self.head.forward(feats, training=training)
+
+    def inference_plan(self) -> InferencePlan:
+        """The compiled serving path: BN folded, buffers reused.
+
+        Built lazily and invalidated whenever the model trains or loads
+        new weights, so callers never see stale weights.
+        """
+        if self._plan is None:
+            self._plan = InferencePlan([*self.backbone.layers, self.head])
+        return self._plan
+
+    def __getstate__(self):
+        # The plan holds scratch buffers keyed by layer identity; it is
+        # cheap to rebuild and meaningless across pickling (the parallel
+        # runner ships models to worker processes).
+        state = self.__dict__.copy()
+        state["_plan"] = None
+        return state
 
     def backward(self, grad: np.ndarray) -> None:
         self.backbone.backward(self.head.backward(grad))
@@ -124,6 +148,7 @@ class TinyYolo:
                 raise ValueError(f"shape mismatch for {p.name}: "
                                  f"{p.value.shape} vs {w.shape}")
             p.value = w.astype(np.float32).copy()
+        self._plan = None
 
     def _batchnorms(self) -> List[BatchNorm2D]:
         return [l for l in self.backbone.layers if isinstance(l, BatchNorm2D)]
@@ -148,6 +173,7 @@ class TinyYolo:
         for i, bn in enumerate(self._batchnorms()):
             bn.running_mean = state[f"bn{i:03d}.mean"].astype(np.float32).copy()
             bn.running_var = state[f"bn{i:03d}.var"].astype(np.float32).copy()
+        self._plan = None
 
     # -- target encoding ---------------------------------------------------
 
@@ -221,7 +247,7 @@ class TinyYolo:
     # -- inference ------------------------------------------------------------
 
     def predict_raw(self, images: np.ndarray) -> np.ndarray:
-        return self.forward(images, training=False)
+        return self.inference_plan().forward(images)
 
     def decode(
         self,
@@ -258,6 +284,36 @@ class TinyYolo:
         raw = self.predict_raw(images)
         return [self.decode(raw[i], conf_threshold) for i in range(raw.shape[0])]
 
+    def detect_screens(
+        self,
+        screen_images: Sequence[np.ndarray],
+        refine: bool = True,
+        conf_threshold: Optional[float] = None,
+    ) -> List[List[Detection]]:
+        """Batched end-to-end path: N native screenshots -> N box lists.
+
+        All N frames are preprocessed into one (N, C, H, W) stack and
+        run through a single plan forward — one im2col per layer into a
+        reused scratch instead of N size-1 forwards.  Per-image results
+        are bit-identical to calling :meth:`detect_screen` image by
+        image (see :mod:`repro.vision.nn.infer`).
+        """
+        if len(screen_images) == 0:
+            return []
+        tensors = np.stack([to_input_tensor(img) for img in screen_images])
+        batches = self.detect_batch(tensors, conf_threshold)
+        out: List[List[Detection]] = []
+        for img, dets in zip(screen_images, batches):
+            per_image: List[Detection] = []
+            for det in dets:
+                rect = input_rect_to_screen(det.rect)
+                if refine:
+                    rect = refine_detection_box(img, rect)
+                per_image.append(Detection(rect=rect, label=det.label,
+                                           score=det.score))
+            out.append(per_image)
+        return out
+
     def detect_screen(
         self,
         screen_image: np.ndarray,
@@ -268,15 +324,8 @@ class TinyYolo:
 
         This is the call DARPA's runtime makes per settled screenshot.
         """
-        tensor = to_input_tensor(screen_image)[None]
-        dets = self.detect_batch(tensor, conf_threshold)[0]
-        out: List[Detection] = []
-        for det in dets:
-            rect = input_rect_to_screen(det.rect)
-            if refine:
-                rect = refine_detection_box(screen_image, rect)
-            out.append(Detection(rect=rect, label=det.label, score=det.score))
-        return out
+        return self.detect_screens([screen_image], refine=refine,
+                                   conf_threshold=conf_threshold)[0]
 
 
 @dataclass

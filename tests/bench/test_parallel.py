@@ -1,0 +1,75 @@
+"""Determinism tests for the parallel fleet runner.
+
+The contract: :func:`run_darpa_over_fleet_parallel` is a drop-in for
+the sequential :func:`run_darpa_over_fleet` — same sessions, same
+seeds, same results, for ANY worker or shard count.  Seeds travel with
+each session's global fleet index, never with worker identity, so the
+confusion-matrix rows of Table VI cannot depend on parallelism.
+"""
+
+import pytest
+
+from repro.bench import (
+    build_runtime_fleet,
+    run_darpa_over_fleet,
+    run_darpa_over_fleet_parallel,
+)
+
+
+def result_key(result):
+    """Everything a table row is derived from, as a comparable tuple."""
+    return (
+        result.package,
+        result.events_total,
+        result.screens_analyzed,
+        tuple(result.screen_verdicts),
+        tuple(result.frauddroid_verdicts),
+        result.auis_shown,
+        result.auis_flagged,
+        result.perf.as_row(),
+        tuple(sorted(result.perf.counts.items())),
+    )
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    return build_runtime_fleet(n_apps=4, seed=3, duration_ms=20_000.0)
+
+
+@pytest.fixture(scope="module")
+def sequential(sessions):
+    return run_darpa_over_fleet(sessions, "oracle", ct_ms=200.0, mode="full")
+
+
+class TestParallelDeterminism:
+    def test_inline_single_worker_matches_sequential(self, sessions, sequential):
+        inline = run_darpa_over_fleet_parallel(
+            sessions, "oracle", ct_ms=200.0, mode="full", n_workers=1)
+        assert [result_key(r) for r in inline] == \
+            [result_key(r) for r in sequential]
+
+    def test_process_pool_matches_sequential(self, sessions, sequential):
+        pooled = run_darpa_over_fleet_parallel(
+            sessions, "oracle", ct_ms=200.0, mode="full",
+            n_workers=2, n_shards=2)
+        assert [result_key(r) for r in pooled] == \
+            [result_key(r) for r in sequential]
+
+    def test_shard_count_is_invisible(self, sessions, sequential):
+        want = [result_key(r) for r in sequential]
+        for n_shards in (1, 3, 4):
+            got = run_darpa_over_fleet_parallel(
+                sessions, "oracle", ct_ms=200.0, mode="full",
+                n_workers=2, n_shards=n_shards)
+            assert [result_key(r) for r in got] == want, (
+                f"n_shards={n_shards} changed the fleet results")
+
+    def test_results_come_back_in_fleet_order(self, sessions):
+        pooled = run_darpa_over_fleet_parallel(
+            sessions, "oracle", ct_ms=200.0, mode="full",
+            n_workers=2, n_shards=3)
+        assert [r.package for r in pooled] == \
+            [s.spec.package for s in sessions]
+
+    def test_empty_fleet(self):
+        assert run_darpa_over_fleet_parallel([], "oracle") == []

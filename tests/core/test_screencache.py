@@ -1,0 +1,177 @@
+"""Tests for the screen-fingerprint detection cache."""
+
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.android import AppSpec, Device, SimulatedApp, UiStep, UiTimeline, View
+from repro.android.apps import ScreenState
+from repro.android.device import PerfOp
+from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
+from repro.core.screencache import ScreenFingerprintCache
+from repro.geometry import Rect, ScoredBox
+from repro.imaging.color import PALETTE
+
+
+def box(x=10.0, y=10.0) -> ScoredBox:
+    return ScoredBox(rect=Rect(x, y, 20, 20), label="UPO", score=0.9)
+
+
+class TestFingerprint:
+    def test_identical_frames_share_a_key(self):
+        cache = ScreenFingerprintCache()
+        rng = np.random.default_rng(0)
+        frame = rng.random((64, 48, 3))
+        assert cache.fingerprint(frame) == cache.fingerprint(frame.copy())
+
+    def test_imperceptible_noise_is_invariant(self):
+        cache = ScreenFingerprintCache()
+        frame = np.full((64, 48, 3), 0.5)
+        noisy = frame + np.random.default_rng(1).normal(0, 1e-4, frame.shape)
+        assert cache.fingerprint(frame) == cache.fingerprint(noisy)
+
+    def test_layout_change_changes_the_key(self):
+        cache = ScreenFingerprintCache()
+        frame = np.full((64, 48, 3), 1.0)
+        moved = frame.copy()
+        moved[10:30, 5:25] = 0.0  # a button-sized dark region
+        assert cache.fingerprint(frame) != cache.fingerprint(moved)
+
+    def test_integer_rasters_match_normalized_floats(self):
+        cache = ScreenFingerprintCache()
+        ints = np.full((32, 32, 3), 128, dtype=np.uint8)
+        floats = ints.astype(np.float64) / 255.0
+        assert cache.fingerprint(ints) == cache.fingerprint(floats)
+
+    def test_small_frames_are_fingerprintable(self):
+        cache = ScreenFingerprintCache()
+        assert cache.fingerprint(np.zeros((4, 3, 3)))  # below grid size
+
+
+class TestLru:
+    def test_hit_and_miss_counting(self):
+        cache = ScreenFingerprintCache(capacity=4)
+        frame = np.full((32, 32, 3), 0.5)
+        assert cache.lookup(frame) is None
+        cache.put(cache.fingerprint(frame), [box()])
+        assert cache.lookup(frame) == [box()]
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ScreenFingerprintCache(capacity=2)
+        keys = [bytes([i]) for i in range(3)]
+        cache.put(keys[0], [box(1.0)])
+        cache.put(keys[1], [box(2.0)])
+        assert cache.get(keys[0]) is not None  # 0 freshened, 1 is oldest
+        cache.put(keys[2], [box(3.0)])
+        assert len(cache) == 2
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+
+    def test_cached_lists_are_isolated_copies(self):
+        cache = ScreenFingerprintCache()
+        detections = [box()]
+        cache.put(b"k", detections)
+        detections.append(box(50.0))
+        out = cache.get(b"k")
+        assert out == [box()]
+        out.append(box(60.0))
+        assert cache.get(b"k") == [box()]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ScreenFingerprintCache(capacity=0)
+        with pytest.raises(ValueError):
+            ScreenFingerprintCache(grid=0)
+        with pytest.raises(ValueError):
+            ScreenFingerprintCache(levels=1)
+
+
+class CountingDetector:
+    """Returns a fixed detection; counts how often the CNN would run."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def detect_screen(self, screen_image: np.ndarray, refine: bool = True,
+                      conf_threshold: Optional[float] = None
+                      ) -> List[ScoredBox]:
+        self.calls += 1
+        return [box()]
+
+
+def run_session(config: DarpaConfig):
+    """Three settled screens: white, dark, white again."""
+    device = Device(seed=0)
+
+    def screen(color):
+        return ScreenState(root=View(bounds=Rect(0, 0, 360, 568),
+                                     bg_color=PALETTE[color]), name=color)
+
+    timeline = UiTimeline([
+        UiStep(0, screen("white")),
+        UiStep(1000, screen("dark_gray")),
+        UiStep(2000, screen("white")),
+    ])
+    app = SimulatedApp(device, AppSpec(package="com.demo", timeline=timeline))
+    detector = CountingDetector()
+    service = DarpaService(device, detector, config=config,
+                           policy=ScreenshotPolicy(consent_given=True))
+    service.start()
+    app.launch()
+    device.clock.advance(4000)
+    return device, detector, service
+
+
+class TestServiceIntegration:
+    def test_repeated_screen_skips_the_detector(self):
+        device, detector, service = run_session(DarpaConfig(ct_ms=200.0))
+        assert service.stats.screens_analyzed == 3
+        # The white screen recurs: 2 CNN runs, 1 replay from cache.
+        assert detector.calls == 2
+        assert service.stats.cache_hits == 1
+        assert service.stats.cache_misses == 2
+        assert service.screen_cache.hits == 1
+
+    def test_probes_are_billed_hits_skip_inference(self):
+        device, detector, service = run_session(DarpaConfig(ct_ms=200.0))
+        assert device.perf.count(PerfOp.CACHE_PROBE) == 3
+        assert device.perf.count(PerfOp.INFERENCE) == 2
+        report = device.perf.report(4000)
+        assert report.counts["cache_probe"] == 3
+
+    def test_cache_hit_still_decorates(self):
+        device, detector, service = run_session(DarpaConfig(ct_ms=200.0))
+        # Every analyzed screen got detections (cached or fresh).
+        assert all(r.detections for r in service.stats.records)
+        assert service.stats.decorations_drawn > 0
+
+    def test_zero_capacity_disables_cache(self):
+        device, detector, service = run_session(
+            DarpaConfig(ct_ms=200.0, screen_cache_size=0))
+        assert service.screen_cache is None
+        assert detector.calls == 3
+        assert service.stats.cache_hits == 0
+        assert device.perf.count(PerfOp.CACHE_PROBE) == 0
+
+    def test_stub_screenshots_disable_cache(self):
+        device, detector, service = run_session(
+            DarpaConfig(ct_ms=200.0, stub_screenshots=True))
+        assert service.screen_cache is None
+        assert detector.calls == 3
+        assert device.perf.count(PerfOp.CACHE_PROBE) == 0
+
+    def test_probe_cost_in_overhead_model(self):
+        device, _, _ = run_session(DarpaConfig(ct_ms=200.0))
+        profile = device.perf.profile
+        with_probes = device.perf.report(60_000)
+        probe_cpu_pct = (device.perf.count(PerfOp.CACHE_PROBE)
+                         * profile.cache_probe_cpu_ms / 60_000 * 100.0)
+        # Probes are billed, but one avoided inference (100 CPU-ms)
+        # dwarfs all three probes (2 CPU-ms each).
+        assert probe_cpu_pct > 0
+        assert probe_cpu_pct < profile.inference_cpu_ms / 60_000 * 100.0
+        assert with_probes.counts["cache_probe"] == 3
