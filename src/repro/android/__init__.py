@@ -41,6 +41,17 @@ from repro.android.device import Device, DeviceProfile, PerfMeter, PerfReport
 from repro.android.apps import AppSpec, SimulatedApp, UiTimeline, UiStep
 from repro.android.monkey import Monkey
 from repro.android.adb import dump_view_hierarchy, NodeInfo
+from repro.android.faults import (
+    DetectorCrashError,
+    FaultInjector,
+    FaultPlan,
+    FaultyDetector,
+    FaultyDevice,
+    InjectedFault,
+    OverlayRejectedError,
+    ScreenshotFailedError,
+    ScreenshotThrottledError,
+)
 
 __all__ = [
     "SimulatedClock",
@@ -72,4 +83,13 @@ __all__ = [
     "Monkey",
     "dump_view_hierarchy",
     "NodeInfo",
+    "DetectorCrashError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyDetector",
+    "FaultyDevice",
+    "InjectedFault",
+    "OverlayRejectedError",
+    "ScreenshotFailedError",
+    "ScreenshotThrottledError",
 ]

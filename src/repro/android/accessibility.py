@@ -101,6 +101,23 @@ class AccessibilityService:
         self.device.register_event_listener(self.event_mask, self._receive)
         self.connected = True
 
+    def disconnect(self) -> None:
+        """Unregister from the event bus and drop any coalesced event.
+
+        Without this, a stopped service still receives every bus event,
+        and a pending notification-timeout timer can deliver one more
+        coalesced event *after* shutdown.  Safe to call twice; the
+        service can :meth:`connect` again afterwards.
+        """
+        if not self.connected:
+            return
+        self.device.unregister_event_listener(self._receive)
+        if self._timer is not None:
+            self.device.clock.cancel(self._timer)
+            self._timer = None
+        self._pending = None
+        self.connected = False
+
     # -- event delivery ----------------------------------------------------
 
     def _receive(self, event: AccessibilityEvent) -> None:
@@ -139,7 +156,15 @@ class AccessibilityService:
             raise ScreenshotUnsupportedError(
                 f"takeScreenshot needs API 30+, device has {self.device.api_level}"
             )
+        faults = getattr(self.device, "faults", None)
+        if faults is not None:
+            # The OS interval limit rejects before any capture work...
+            faults.check_screenshot_throttle()
         self.device.perf.record(PerfOp.SCREENSHOT)
+        if faults is not None:
+            # ...while a transient capture failure is billed like a
+            # capture: the work happened, the buffer was lost.
+            faults.check_screenshot_failure()
         top = self.device.window_manager.top_app_window()
         if stub:
             pixels = np.zeros((1, 1, 3), dtype=np.float32)
@@ -154,7 +179,14 @@ class AccessibilityService:
         )
 
     def add_overlay(self, view: View, params: LayoutParams) -> Window:
-        """Mount an overlay view (decoration or calibration anchor)."""
+        """Mount an overlay view (decoration or calibration anchor).
+
+        Raises :class:`repro.android.faults.OverlayRejectedError` when a
+        fault plan revokes the overlay permission mid-run.
+        """
+        faults = getattr(self.device, "faults", None)
+        if faults is not None:
+            faults.check_overlay()
         window = self.device.window_manager.add_view(view, params, self.package)
         self._overlays.append(view)
         return window

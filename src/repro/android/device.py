@@ -28,6 +28,9 @@ class PerfOp(Enum):
     EVENT_DELIVERED = "event_delivered"
     SCREENSHOT = "screenshot"
     INFERENCE = "inference"
+    #: Degraded-mode heuristic pass (FraudDroid fallback while the
+    #: detector circuit breaker is open) — metadata only, no CNN.
+    FALLBACK_INFERENCE = "fallback_inference"
     CACHE_PROBE = "cache_probe"
     DECORATION = "decoration"
     APP_FRAME = "app_frame"
@@ -60,6 +63,10 @@ class DeviceProfile:
     # Fingerprinting a settled frame and probing the detection cache
     # (one grid average-pool + hash lookup; no CNN).
     cache_probe_cpu_ms: float = 2.0
+    # One FraudDroid-style heuristic pass over the hierarchy dump
+    # (string matching + placement rules; runs while the detector
+    # breaker is open).
+    fallback_cpu_ms: float = 6.0
 
     # Resident memory charged while components are loaded (MB).
     monitoring_memory_mb: float = 60.2
@@ -74,6 +81,7 @@ class DeviceProfile:
     screenshot_power_mj: float = 25.0
     inference_power_mj: float = 110.0
     cache_probe_power_mj: float = 1.5
+    fallback_power_mj: float = 4.0
     decoration_power_mj: float = 2.0
 
     # Frame-rate penalty: every main-thread CPU-ms stolen per second of
@@ -136,6 +144,7 @@ class PerfMeter:
             self._counts[PerfOp.EVENT_DELIVERED] * p.event_cpu_ms
             + self._counts[PerfOp.SCREENSHOT] * p.screenshot_cpu_ms
             + self._counts[PerfOp.INFERENCE] * p.inference_cpu_ms
+            + self._counts[PerfOp.FALLBACK_INFERENCE] * p.fallback_cpu_ms
             + self._counts[PerfOp.CACHE_PROBE] * p.cache_probe_cpu_ms
             + self._counts[PerfOp.DECORATION] * p.decoration_cpu_ms
         )
@@ -160,6 +169,7 @@ class PerfMeter:
             self._counts[PerfOp.EVENT_DELIVERED] * p.event_power_mj
             + self._counts[PerfOp.SCREENSHOT] * p.screenshot_power_mj
             + self._counts[PerfOp.INFERENCE] * p.inference_power_mj
+            + self._counts[PerfOp.FALLBACK_INFERENCE] * p.fallback_power_mj
             + self._counts[PerfOp.CACHE_PROBE] * p.cache_probe_power_mj
             + self._counts[PerfOp.DECORATION] * p.decoration_power_mj
         )
@@ -207,6 +217,21 @@ class Device:
         """Subscribe a callback to accessibility events matching ``mask``."""
         self._listeners.append((mask, callback))
 
+    def unregister_event_listener(
+        self, callback: Callable[[AccessibilityEvent], None]
+    ) -> bool:
+        """Remove a subscribed callback; True when it was registered.
+
+        Matched by equality, not identity: a bound method like
+        ``service._receive`` is a fresh object on every attribute
+        access, but compares equal across accesses.
+        """
+        for i, (_, registered) in enumerate(self._listeners):
+            if registered == callback:
+                del self._listeners[i]
+                return True
+        return False
+
     def emit_event(
         self,
         event_type: AccessibilityEventType,
@@ -221,10 +246,19 @@ class Device:
             window_id=window_id,
         )
         self._event_log.append(event)
-        for mask, callback in self._listeners:
-            if mask & int(event_type):
-                callback(event)
+        self._dispatch(event)
         return event
+
+    def _dispatch(self, event: AccessibilityEvent) -> None:
+        """Deliver one logged event to matching listeners.
+
+        Split from :meth:`emit_event` so fault-injecting subclasses
+        (:class:`repro.android.faults.FaultyDevice`) can drop, duplicate
+        or storm deliveries without touching the event log.
+        """
+        for mask, callback in self._listeners:
+            if mask & int(event.event_type):
+                callback(event)
 
     @property
     def event_log(self) -> List[AccessibilityEvent]:

@@ -3,6 +3,7 @@
 from repro.baselines.frauddroid import (
     FraudDroidConfig,
     FraudDroidDetector,
+    FraudDroidScreenDetector,
     UPO_ID_LEXICON,
     AGO_ID_LEXICON,
 )
@@ -10,6 +11,7 @@ from repro.baselines.frauddroid import (
 __all__ = [
     "FraudDroidConfig",
     "FraudDroidDetector",
+    "FraudDroidScreenDetector",
     "UPO_ID_LEXICON",
     "AGO_ID_LEXICON",
 ]

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry.nms import ScoredBox
 from repro.geometry.rect import Rect
-from repro.android.adb import NodeInfo
+from repro.android.adb import NodeInfo, dump_view_hierarchy
 
 #: Resource-id substrings associated with user-preferred options.  The
 #: paper "enrich[es] the UI string features by adding resource ids
@@ -117,3 +117,38 @@ class FraudDroidDetector:
     def screen_is_aui(self, nodes: Sequence[NodeInfo]) -> bool:
         """Screen-level verdict: any UPO flagged (Table VI counting)."""
         return any(d.label == "UPO" for d in self.detect_nodes(nodes))
+
+
+class FraudDroidScreenDetector:
+    """Adapts the metadata heuristic to the pipeline's ``Detector``
+    protocol, for graceful degradation.
+
+    While the CNN's circuit breaker is open (:mod:`repro.core.resilience`)
+    the pipeline still needs *some* screen verdict; this adapter answers
+    ``detect_screen`` by dumping the foreground app's view hierarchy and
+    running :class:`FraudDroidDetector` over it — the screenshot pixels
+    are ignored, which is exactly why the heuristic survives detector
+    outages (and why its recall is the degraded ~14% of Table VI rather
+    than DARPA's).
+    """
+
+    def __init__(self, device, config: Optional[FraudDroidConfig] = None):
+        self.device = device
+        self.inner = FraudDroidDetector(
+            config,
+            screen_w=device.screen.width,
+            screen_h=device.screen.height,
+        )
+
+    def detect_screen(self, screen_image, refine: bool = True,
+                      conf_threshold: Optional[float] = None
+                      ) -> List[ScoredBox]:
+        top = self.device.window_manager.top_app_window()
+        nodes = dump_view_hierarchy(
+            self.device.window_manager,
+            package=top.package if top is not None else None,
+        )
+        detections = self.inner.detect_nodes(nodes)
+        if conf_threshold is not None:
+            detections = [d for d in detections if d.score >= conf_threshold]
+        return detections

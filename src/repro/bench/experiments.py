@@ -13,7 +13,7 @@ Three layers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +21,12 @@ import numpy as np
 from repro.android.apps import AppSpec, ScreenState, SimulatedApp, UiStep, UiTimeline
 from repro.android.adb import dump_view_hierarchy
 from repro.android.device import Device, PerfOp, PerfReport
+from repro.android.faults import (
+    FaultPlan,
+    FaultyDetector,
+    FaultyDevice,
+    ScreenshotFailedError,
+)
 from repro.android.monkey import Monkey
 from repro.android.resources import ResourceIdPolicy
 from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
@@ -274,6 +280,11 @@ class SessionResult:
     frauddroid_verdicts: List[Tuple[bool, bool]] = field(default_factory=list)
     auis_shown: int = 0
     auis_flagged: int = 0
+    #: DarpaStats resilience counters (screenshot_failures, retries,
+    #: breaker_opens, fallback_detections, deadline_skips, ...).
+    resilience: Dict[str, int] = field(default_factory=dict)
+    #: FaultInjector counters — what the chaos plan actually injected.
+    injected: Dict[str, int] = field(default_factory=dict)
 
 
 class _NullDetector:
@@ -317,16 +328,30 @@ def run_darpa_session(
     monkey_seed: Optional[int] = None,
     frauddroid=None,
     conf_threshold: float = DEFAULT_CONF_THRESHOLD,
+    fault_plan: Optional[FaultPlan] = None,
+    darpa_kwargs: Optional[Dict] = None,
 ) -> SessionResult:
     """Replay one session under a DARPA configuration.
 
     ``mode`` decomposes overhead as Table VII does: ``baseline`` (no
     DARPA), ``monitor`` (events + screenshots only), ``detect``
     (+model), ``full`` (+decoration).
+
+    ``fault_plan`` runs the session on a :class:`FaultyDevice`; the
+    per-session injector is re-seeded off the global fleet index (via
+    ``monkey_seed``) so chaos runs stay deterministic under any worker
+    or shard count.  ``darpa_kwargs`` forwards extra
+    :class:`DarpaConfig` fields (e.g. ``deadline_ms``,
+    ``breaker_failure_threshold``) to the service.
     """
     if mode not in ("baseline", "monitor", "detect", "full"):
         raise ValueError(f"unknown mode {mode!r}")
-    device = Device(seed=monkey_seed or 0)
+    if fault_plan is not None:
+        session_plan = replace(
+            fault_plan, seed=fault_plan.seed + 7919 * ((monkey_seed or 0) + 1))
+        device: Device = FaultyDevice(plan=session_plan, seed=monkey_seed or 0)
+    else:
+        device = Device(seed=monkey_seed or 0)
     app = SimulatedApp(device, session.spec)
     stub_screens = False
     if detector == "oracle":
@@ -339,9 +364,12 @@ def run_darpa_session(
     service: Optional[DarpaService] = None
     if mode != "baseline":
         active_detector = detector if mode in ("detect", "full") else _NullDetector()
+        if fault_plan is not None and not fault_plan.is_null:
+            active_detector = FaultyDetector(active_detector, device.faults)
         config = DarpaConfig(ct_ms=ct_ms, conf_threshold=conf_threshold,
                              decorate=(mode == "full"),
-                             stub_screenshots=stub_screens or mode == "monitor")
+                             stub_screenshots=stub_screens or mode == "monitor",
+                             **(darpa_kwargs or {}))
         service = DarpaService(device, active_detector, config=config,
                                policy=ScreenshotPolicy(consent_given=True))
         service.start()
@@ -352,9 +380,13 @@ def run_darpa_session(
             def monitor_only(event, _service=service):
                 if event.package == _service.service.package:
                     return
-                with _service.policy.analyzed_screenshot(
-                        _service.service, stub=True):
-                    pass
+                try:
+                    with _service.policy.analyzed_screenshot(
+                            _service.service, stub=True):
+                        pass
+                except ScreenshotFailedError:
+                    _service.stats.screenshot_failures += 1
+                    return
                 _service.stats.screens_analyzed += 1
 
             service.debouncer.on_settled = monitor_only
@@ -414,6 +446,23 @@ def run_darpa_session(
             labeled = shown.screen.is_aui and bool(shown.screen.boxes_of("UPO"))
             fd_verdicts.append((labeled, fd_by_screen[key]))
 
+    resilience: Dict[str, int] = {}
+    if service is not None:
+        stats = service.stats
+        resilience = {
+            "screenshot_failures": stats.screenshot_failures,
+            "retries": stats.retries,
+            "detector_failures": stats.detector_failures,
+            "breaker_opens": stats.breaker_opens,
+            "fallback_detections": stats.fallback_detections,
+            "deadline_skips": stats.deadline_skips,
+            "overlay_rejections": stats.overlay_rejections,
+        }
+    injected: Dict[str, int] = {}
+    faults = getattr(device, "faults", None)
+    if faults is not None:
+        injected = dict(faults.counts)
+
     return SessionResult(
         package=session.spec.package,
         perf=device.perf.report(duration_ms),
@@ -423,6 +472,8 @@ def run_darpa_session(
         frauddroid_verdicts=fd_verdicts,
         auis_shown=sum(1 for labeled, _ in verdicts if labeled),
         auis_flagged=sum(1 for labeled, f in verdicts if labeled and f),
+        resilience=resilience,
+        injected=injected,
     )
 
 
@@ -433,10 +484,13 @@ def run_darpa_over_fleet(
     mode: str = "full",
     frauddroid=None,
     conf_threshold: float = DEFAULT_CONF_THRESHOLD,
+    fault_plan: Optional[FaultPlan] = None,
+    darpa_kwargs: Optional[Dict] = None,
 ) -> List[SessionResult]:
     return [
         run_darpa_session(s, detector, ct_ms=ct_ms, mode=mode,
                           monkey_seed=1000 + i, frauddroid=frauddroid,
-                          conf_threshold=conf_threshold)
+                          conf_threshold=conf_threshold,
+                          fault_plan=fault_plan, darpa_kwargs=darpa_kwargs)
         for i, s in enumerate(sessions)
     ]

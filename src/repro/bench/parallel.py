@@ -34,13 +34,15 @@ from repro.bench.experiments import (
 
 def _run_shard(payload) -> List[Tuple[int, SessionResult]]:
     """Worker entry: replay one shard of (global index, session) pairs."""
-    indices, sessions, detector, ct_ms, mode, frauddroid, conf = payload
+    (indices, sessions, detector, ct_ms, mode, frauddroid, conf,
+     fault_plan, darpa_kwargs) = payload
     out: List[Tuple[int, SessionResult]] = []
     for index, session in zip(indices, sessions):
         result = run_darpa_session(
             session, detector, ct_ms=ct_ms, mode=mode,
             monkey_seed=1000 + index, frauddroid=frauddroid,
-            conf_threshold=conf,
+            conf_threshold=conf, fault_plan=fault_plan,
+            darpa_kwargs=darpa_kwargs,
         )
         out.append((index, result))
     return out
@@ -63,13 +65,17 @@ def run_darpa_over_fleet_parallel(
     conf_threshold: float = DEFAULT_CONF_THRESHOLD,
     n_workers: Optional[int] = None,
     n_shards: Optional[int] = None,
+    fault_plan=None,
+    darpa_kwargs=None,
 ) -> List[SessionResult]:
     """Run a fleet across worker processes; results in fleet order.
 
     ``n_workers`` defaults to the machine's core count (capped by the
     fleet size); ``n_shards`` defaults to ``n_workers``.  With one
     worker (or a one-session fleet) the sequential runner is called
-    inline — no pool, no pickling.
+    inline — no pool, no pickling.  ``fault_plan``/``darpa_kwargs``
+    forward to :func:`run_darpa_session`; fault seeds travel with the
+    global index, so chaos runs are shard-invariant too.
     """
     n = len(sessions)
     if n_workers is None:
@@ -78,7 +84,8 @@ def run_darpa_over_fleet_parallel(
     if n_workers <= 1 or n <= 1:
         return run_darpa_over_fleet(
             sessions, detector, ct_ms=ct_ms, mode=mode,
-            frauddroid=frauddroid, conf_threshold=conf_threshold)
+            frauddroid=frauddroid, conf_threshold=conf_threshold,
+            fault_plan=fault_plan, darpa_kwargs=darpa_kwargs)
     if n_shards is None:
         n_shards = n_workers
     n_shards = max(1, min(n_shards, n))
@@ -93,7 +100,8 @@ def run_darpa_over_fleet_parallel(
             continue
         indices = list(range(lo, hi))
         payloads.append((indices, list(sessions[lo:hi]), detector, ct_ms,
-                         mode, frauddroid, conf_threshold))
+                         mode, frauddroid, conf_threshold, fault_plan,
+                         darpa_kwargs))
 
     merged: List[Optional[SessionResult]] = [None] * n
     with ProcessPoolExecutor(max_workers=n_workers,

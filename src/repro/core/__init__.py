@@ -16,6 +16,7 @@
 from repro.core.config import DarpaConfig, DecorationStyle
 from repro.core.debounce import CutoffDebouncer
 from repro.core.decorator import ViewDecorator
+from repro.core.resilience import BreakerState, CircuitBreaker, RetryPolicy
 from repro.core.security import (
     DARPA_MANIFEST,
     ConsentError,
@@ -30,6 +31,9 @@ __all__ = [
     "DecorationStyle",
     "CutoffDebouncer",
     "ViewDecorator",
+    "BreakerState",
+    "CircuitBreaker",
+    "RetryPolicy",
     "DARPA_MANIFEST",
     "ConsentError",
     "Manifest",

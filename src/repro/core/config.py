@@ -58,6 +58,30 @@ class DarpaConfig:
     #: is also bypassed under ``stub_screenshots`` — stub frames carry
     #: no pixels to fingerprint.
     screen_cache_size: int = 64
+
+    # -- resilience (see repro.core.resilience) -------------------------
+    #: Attempts per settled screen when ``takeScreenshot`` fails
+    #: transiently (1 = no retries).  Retries are scheduled on the
+    #: simulated clock with exponential backoff + seeded jitter.
+    retry_max_attempts: int = 3
+    retry_base_delay_ms: float = 50.0
+    retry_max_delay_ms: float = 1000.0
+    retry_jitter_frac: float = 0.25
+    #: Consecutive detector failures (crashes or blown deadlines) that
+    #: open the circuit breaker, degrading detection to the FraudDroid
+    #: heuristic until the cooldown's half-open probe succeeds.
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_ms: float = 5000.0
+    #: Degrade to the metadata heuristic while the breaker is open (off
+    #: = analyses during an outage report no detections).
+    fallback_to_heuristic: bool = True
+    #: Per-screen watchdog budget for one inference, in simulated ms; an
+    #: analysis whose detector reports a longer ``last_detect_ms`` is
+    #: abandoned (counted as ``deadline_skips``).  0 disables.
+    deadline_ms: float = 0.0
+    #: Seed of the retry-jitter stream (independent of the device RNG).
+    resilience_seed: int = 0
+
     style: DecorationStyle = field(default_factory=DecorationStyle)
 
     def __post_init__(self) -> None:
@@ -67,3 +91,11 @@ class DarpaConfig:
             raise ValueError("confidence threshold must be in (0, 1)")
         if self.screen_cache_size < 0:
             raise ValueError("screen cache size must be non-negative")
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_ms < 0:
+            raise ValueError("breaker cooldown must be non-negative")
+        if self.deadline_ms < 0:
+            raise ValueError("deadline must be non-negative")

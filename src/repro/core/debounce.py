@@ -51,11 +51,12 @@ class CutoffDebouncer:
         self._last_event = event
         if self._timer is not None:
             self.clock.cancel(self._timer)
-        if self.ct_ms == 0:
-            self._timer = None
-            self._fire()
-        else:
-            self._timer = self.clock.schedule(self.ct_ms, self._fire)
+        # ct == 0 still goes through the clock (a zero-delay timer fires
+        # on the next advance, at the same timestamp): firing inline
+        # would run the settled callback synchronously inside event
+        # delivery, and a callback that emits or feeds events would
+        # re-enter feed() and recurse without bound.
+        self._timer = self.clock.schedule(self.ct_ms, self._fire)
 
     def _fire(self) -> None:
         self._timer = None

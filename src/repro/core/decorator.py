@@ -19,6 +19,7 @@ from repro.geometry.nms import ScoredBox
 from repro.geometry.rect import Offset, Rect
 from repro.android.accessibility import AccessibilityService
 from repro.android.device import PerfOp
+from repro.android.faults import OverlayRejectedError
 from repro.android.view import View
 from repro.android.window import LayoutParams
 from repro.core.config import DecorationStyle
@@ -44,6 +45,9 @@ class ViewDecorator:
         #: misplaced-decoration failure mode for tests/demos.
         self.calibrate = calibrate
         self._applied: List[AppliedDecoration] = []
+        #: Overlay mounts the WindowManager refused (permission revoked
+        #: mid-run); drained by the pipeline via :meth:`take_rejections`.
+        self.rejections = 0
 
     # -- calibration (the anchor-view trick) -----------------------------
 
@@ -61,7 +65,13 @@ class ViewDecorator:
         overlay's layout position is the detection's screen position
         minus the measured window offset.
         """
-        offset = self.measure_offset()
+        try:
+            offset = self.measure_offset()
+        except OverlayRejectedError:
+            # No anchor view means no calibration: skip this round
+            # rather than draw misplaced decorations (paper Fig. 4a).
+            self.rejections += 1
+            return []
         applied: List[AppliedDecoration] = []
         for det in detections:
             if det.label == "AGO" and not self.style.decorate_ago:
@@ -80,11 +90,22 @@ class ViewDecorator:
                 border_color=color,
                 border_width=self.style.stroke_width,
             )
-            self.service.add_overlay(view, params)
+            try:
+                self.service.add_overlay(view, params)
+            except OverlayRejectedError:
+                # Per-detection, so one refused mount neither aborts the
+                # rest nor leaks already-mounted views from tracking.
+                self.rejections += 1
+                continue
             self.service.device.perf.record(PerfOp.DECORATION)
             applied.append(AppliedDecoration(view=view, detection=det))
         self._applied.extend(applied)
         return applied
+
+    def take_rejections(self) -> int:
+        """Drain and return the rejected-mount count since last drained."""
+        count, self.rejections = self.rejections, 0
+        return count
 
     def remove_all(self) -> int:
         """Unmount every decoration (done before each new screenshot)."""

@@ -10,6 +10,23 @@ The service is detector-agnostic: anything exposing
 ``detect_screen(image, refine=..., conf_threshold=...) -> [ScoredBox]``
 plugs in, which is how the benchmarks swap the server model, the ported
 model, and test fakes through one pipeline.
+
+The serving path is resilient by construction (see
+:mod:`repro.core.resilience` and :mod:`repro.android.faults`):
+
+- transient screenshot failures are retried on the simulated clock with
+  exponential backoff + seeded jitter (a newer settled screen cancels a
+  pending retry — the old frame no longer matters);
+- the detector runs behind a circuit breaker; while it is open, the
+  pipeline degrades to the FraudDroid metadata heuristic
+  (:class:`repro.baselines.frauddroid.FraudDroidScreenDetector`);
+- a per-screen watchdog deadline abandons analyses whose (simulated)
+  inference overran its budget instead of stalling the event loop;
+- rejected overlay mounts are absorbed per decoration.
+
+With no faults injected, none of these paths run: the stats, records
+and perf counts are bit-identical to the resilience-free pipeline,
+which ``benchmarks/bench_chaos.py`` asserts.
 """
 
 from __future__ import annotations
@@ -23,9 +40,12 @@ from repro.geometry.nms import ScoredBox
 from repro.android.accessibility import AccessibilityService
 from repro.android.device import Device, PerfOp
 from repro.android.events import AccessibilityEvent, TYPES_ALL_MASK
+from repro.android.faults import ScreenshotFailedError
+from repro.baselines.frauddroid import FraudDroidScreenDetector
 from repro.core.config import DarpaConfig
 from repro.core.debounce import CutoffDebouncer
 from repro.core.decorator import ViewDecorator
+from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.core.screencache import ScreenFingerprintCache
 from repro.core.security import ScreenshotPolicy
 
@@ -44,8 +64,11 @@ class AnalysisRecord:
 
     timestamp_ms: float
     package: str
-    detections: List[ScoredBox]
+    detections: Sequence[ScoredBox]
     flag_threshold: float = 0.5
+    #: True when the detections came from the degraded heuristic path
+    #: (detector breaker open or inference crashed), not the CNN.
+    degraded: bool = False
 
     @property
     def flagged_aui(self) -> bool:
@@ -73,6 +96,21 @@ class DarpaStats:
     #: vs. screens that went through the detector.
     cache_hits: int = 0
     cache_misses: int = 0
+    # -- resilience counters (all zero on a fault-free run) -------------
+    #: ``takeScreenshot`` calls that raised (throttled or failed).
+    screenshot_failures: int = 0
+    #: Backoff retries scheduled after a failed capture.
+    retries: int = 0
+    #: Detector inferences that raised.
+    detector_failures: int = 0
+    #: CLOSED/HALF_OPEN -> OPEN transitions of the detector breaker.
+    breaker_opens: int = 0
+    #: Analyses answered by the FraudDroid heuristic instead of the CNN.
+    fallback_detections: int = 0
+    #: Analyses abandoned by the per-screen watchdog deadline.
+    deadline_skips: int = 0
+    #: Decoration overlay mounts the WindowManager refused.
+    overlay_rejections: int = 0
     records: List[AnalysisRecord] = field(default_factory=list)
 
 
@@ -103,6 +141,25 @@ class DarpaService:
         if self.config.screen_cache_size > 0 and not self.config.stub_screenshots:
             self._screen_cache = ScreenFingerprintCache(
                 capacity=self.config.screen_cache_size)
+        # Resilience state: retry scheduling, the detector breaker, and
+        # the degraded-mode heuristic.  All of it is inert until a
+        # dependency actually fails.
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay_ms=self.config.retry_base_delay_ms,
+            max_delay_ms=self.config.retry_max_delay_ms,
+            jitter_frac=self.config.retry_jitter_frac,
+        )
+        self.breaker = CircuitBreaker(
+            device.clock,
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_ms=self.config.breaker_cooldown_ms,
+        )
+        self._fallback: Optional[FraudDroidScreenDetector] = None
+        if self.config.fallback_to_heuristic:
+            self._fallback = FraudDroidScreenDetector(device)
+        self._retry_rng = np.random.default_rng(self.config.resilience_seed)
+        self._retry_timer: Optional[int] = None
         self._running = False
 
     # -- lifecycle --------------------------------------------------------
@@ -119,8 +176,10 @@ class DarpaService:
         self._running = True
 
     def stop(self) -> None:
+        self._cancel_retry()
         self.debouncer.cancel_pending()
         self.decorator.remove_all()
+        self.service.disconnect()
         self._running = False
 
     @property
@@ -131,6 +190,11 @@ class DarpaService:
     def screen_cache(self) -> Optional[ScreenFingerprintCache]:
         """The fingerprint cache, or None when disabled."""
         return self._screen_cache
+
+    @property
+    def fallback_detector(self) -> Optional[FraudDroidScreenDetector]:
+        """The degraded-mode heuristic, or None when disabled."""
+        return self._fallback
 
     # -- event flow -----------------------------------------------------------
 
@@ -145,37 +209,57 @@ class DarpaService:
             return  # our own overlays; never analyze ourselves
         if event.package in self.config.trusted_packages:
             return
+        # A newly settled screen supersedes any retry still pending for
+        # the previous one — that frame is gone.
+        self._cancel_retry()
+        self._analyze(event, attempt=1)
+
+    # -- retry scheduling -----------------------------------------------
+
+    def _cancel_retry(self) -> None:
+        if self._retry_timer is not None:
+            self.device.clock.cancel(self._retry_timer)
+            self._retry_timer = None
+
+    def _schedule_retry(self, event: AccessibilityEvent, attempt: int) -> None:
+        delay = self.retry_policy.delay_ms(attempt, self._retry_rng)
+        self.stats.retries += 1
+
+        def fire() -> None:
+            self._retry_timer = None
+            if not self._running:
+                return
+            self._analyze(event, attempt + 1)
+
+        self._retry_timer = self.device.clock.schedule(delay, fire)
+
+    # -- analysis -------------------------------------------------------
+
+    def _analyze(self, event: AccessibilityEvent, attempt: int) -> None:
         # Remove previous decorations BEFORE the screenshot, so the
         # model never sees (and re-detects) our own overlays.
         self.decorator.remove_all()
-        with self.policy.analyzed_screenshot(
-                self.service, stub=self.config.stub_screenshots) as shot:
-            detections = None
-            key = None
-            if self._screen_cache is not None:
-                # Probe before the CNN: fingerprinting + lookup is ~2
-                # CPU-ms against 100 for an inference (Table VII).
-                key = self._screen_cache.fingerprint(shot.pixels)
-                self.device.perf.record(PerfOp.CACHE_PROBE)
-                detections = self._screen_cache.get(key)
-            if detections is None:
-                if self._screen_cache is not None:
-                    self.stats.cache_misses += 1
-                detections = self.detector.detect_screen(
-                    shot.pixels,
-                    refine=self.config.refine_boxes,
-                    conf_threshold=self.config.conf_threshold,
-                )
-                self.device.perf.record(PerfOp.INFERENCE)
-                if self._screen_cache is not None:
-                    self._screen_cache.put(key, detections)
-            else:
-                self.stats.cache_hits += 1
+        try:
+            with self.policy.analyzed_screenshot(
+                    self.service, stub=self.config.stub_screenshots) as shot:
+                outcome = self._detect(shot)
+        except ScreenshotFailedError:
+            # Transient capture failure (including OS throttling):
+            # back off and retry on the clock instead of losing the
+            # screen — unless the budget is exhausted.
+            self.stats.screenshot_failures += 1
+            if attempt < self.retry_policy.max_attempts:
+                self._schedule_retry(event, attempt)
+            return
+        if outcome is None:
+            return  # watchdog abandoned the analysis
+        detections, degraded = outcome
         record = AnalysisRecord(
             timestamp_ms=self.device.clock.now_ms,
             package=event.package,
             detections=detections,
             flag_threshold=self.config.flag_threshold,
+            degraded=degraded,
         )
         self.stats.records.append(record)
         self.stats.screens_analyzed += 1
@@ -189,3 +273,67 @@ class DarpaService:
                     return
             applied = self.decorator.decorate(detections)
             self.stats.decorations_drawn += len(applied)
+            self.stats.overlay_rejections += self.decorator.take_rejections()
+
+    def _detect(self, shot) -> Optional[Tuple[Sequence[ScoredBox], bool]]:
+        """Cache probe, breaker-guarded inference, degraded fallback.
+
+        Returns ``(detections, degraded)`` or None when the watchdog
+        abandoned the analysis.
+        """
+        key: Optional[bytes] = None
+        if self._screen_cache is not None:
+            # Probe before the CNN: fingerprinting + lookup is ~2
+            # CPU-ms against 100 for an inference (Table VII).
+            key = self._screen_cache.fingerprint(shot.pixels)
+            self.device.perf.record(PerfOp.CACHE_PROBE)
+            cached = self._screen_cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached, False
+            self.stats.cache_misses += 1
+        if self.breaker.allow():
+            try:
+                detections = self.detector.detect_screen(
+                    shot.pixels,
+                    refine=self.config.refine_boxes,
+                    conf_threshold=self.config.conf_threshold,
+                )
+            except Exception:
+                # Any detector exception is a breaker failure; fall
+                # through to the degraded path for THIS screen too.
+                self.stats.detector_failures += 1
+                self._breaker_failure()
+            else:
+                self.device.perf.record(PerfOp.INFERENCE)
+                elapsed = float(
+                    getattr(self.detector, "last_detect_ms", 0.0) or 0.0)
+                if self.config.deadline_ms and elapsed > self.config.deadline_ms:
+                    # Over budget: by the time this inference "finished"
+                    # the screen has likely moved on — abandon it rather
+                    # than decorate a stale frame, and treat the overrun
+                    # as a failure signal for the breaker.
+                    self.stats.deadline_skips += 1
+                    self._breaker_failure()
+                    return None
+                self.breaker.record_success()
+                if self._screen_cache is not None:
+                    self._screen_cache.put(key, detections)
+                return detections, False
+        # Breaker open (or the inference just crashed): degrade to the
+        # metadata heuristic.  Degraded results are never cached — the
+        # cache must not replay heuristic verdicts after recovery.
+        if self._fallback is not None:
+            detections = self._fallback.detect_screen(
+                shot.pixels,
+                refine=self.config.refine_boxes,
+                conf_threshold=self.config.conf_threshold,
+            )
+            self.device.perf.record(PerfOp.FALLBACK_INFERENCE)
+            self.stats.fallback_detections += 1
+            return detections, True
+        return (), True
+
+    def _breaker_failure(self) -> None:
+        if self.breaker.record_failure():
+            self.stats.breaker_opens += 1

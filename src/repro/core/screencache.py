@@ -28,7 +28,7 @@ cost model (see :mod:`repro.android.device`).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,7 +51,11 @@ class ScreenFingerprintCache:
         self.levels = levels
         self.hits = 0
         self.misses = 0
-        self._entries: "OrderedDict[bytes, List[ScoredBox]]" = OrderedDict()
+        # Entries are tuples of frozen ScoredBoxes: handing out the
+        # stored sequence by reference is safe because neither the tuple
+        # nor its boxes can be mutated — a caller can't poison a future
+        # hit, and hits don't pay a per-lookup copy.
+        self._entries: "OrderedDict[bytes, Tuple[ScoredBox, ...]]" = OrderedDict()
 
     # -- fingerprinting --------------------------------------------------
 
@@ -95,7 +99,7 @@ class ScreenFingerprintCache:
 
     # -- LRU -------------------------------------------------------------
 
-    def get(self, key: bytes) -> Optional[List[ScoredBox]]:
+    def get(self, key: bytes) -> Optional[Tuple[ScoredBox, ...]]:
         """Return the cached detections for ``key``, counting the probe."""
         entry = self._entries.get(key)
         if entry is None:
@@ -103,15 +107,17 @@ class ScreenFingerprintCache:
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return list(entry)
+        return entry
 
     def put(self, key: bytes, detections: Sequence[ScoredBox]) -> None:
-        self._entries[key] = list(detections)
+        # Defensive copy into an immutable tuple: the caller keeps no
+        # handle that could mutate this entry under future hits.
+        self._entries[key] = tuple(detections)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
-    def lookup(self, pixels: np.ndarray) -> Optional[List[ScoredBox]]:
+    def lookup(self, pixels: np.ndarray) -> Optional[Tuple[ScoredBox, ...]]:
         """Fingerprint + get in one call (convenience for tests)."""
         return self.get(self.fingerprint(pixels))
 

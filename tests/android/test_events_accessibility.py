@@ -127,6 +127,77 @@ class TestServiceDelivery:
         assert device.perf.count(PerfOp.EVENT_DELIVERED) == 7
 
 
+class TestDisconnect:
+    def test_no_delivery_after_disconnect(self, device):
+        svc = AccessibilityService(device)
+        got = []
+        svc.on_event = got.append
+        svc.connect()
+        device.emit_event(AccessibilityEventType.TYPE_WINDOWS_CHANGED, "com.demo")
+        svc.disconnect()
+        device.emit_event(AccessibilityEventType.TYPE_WINDOWS_CHANGED, "com.demo")
+        assert len(got) == 1
+        assert not svc.connected
+
+    def test_disconnect_cancels_pending_coalesced_event(self, device):
+        # Regression: a coalescing timer armed before shutdown used to
+        # deliver one more event after it.
+        svc = AccessibilityService(device, notification_timeout_ms=200)
+        got = []
+        svc.on_event = got.append
+        svc.connect()
+        device.emit_event(
+            AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED, "com.demo")
+        svc.disconnect()
+        device.clock.advance(1000)
+        assert got == []
+
+    def test_disconnect_is_idempotent_and_reconnectable(self, device):
+        svc = AccessibilityService(device)
+        got = []
+        svc.on_event = got.append
+        svc.connect()
+        svc.disconnect()
+        svc.disconnect()  # no error, no double-unregister
+        svc.connect()
+        device.emit_event(AccessibilityEventType.TYPE_WINDOWS_CHANGED, "com.demo")
+        assert len(got) == 1
+
+    def test_disconnect_without_connect_is_a_noop(self, device):
+        AccessibilityService(device).disconnect()
+
+    def test_unregister_unknown_listener_returns_false(self, device):
+        assert not device.unregister_event_listener(lambda e: None)
+
+
+class TestServiceStop:
+    def test_stopped_service_ignores_later_events(self, device):
+        from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
+
+        class NullDetector:
+            def detect_screen(self, screen_image, refine=True,
+                              conf_threshold=None):
+                return []
+
+        attach_demo_app(device)
+        svc = DarpaService(device, NullDetector(),
+                           config=DarpaConfig(ct_ms=200.0),
+                           policy=ScreenshotPolicy(consent_given=True))
+        svc.start()
+        device.emit_event(
+            AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED, "com.demo")
+        svc.stop()
+        # The settle timer for the pre-stop event is cancelled, and
+        # post-stop events never reach the service at all.
+        device.emit_event(
+            AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED, "com.demo")
+        device.clock.advance(1000)
+        assert svc.stats.events_seen == 1
+        assert svc.stats.screens_analyzed == 0
+        assert svc.policy.captures == 0
+        assert not svc.service.connected
+
+
 class TestScreenshot:
     def test_screenshot_shape_matches_screen(self, device):
         attach_demo_app(device)

@@ -73,3 +73,25 @@ class TestParallelDeterminism:
 
     def test_empty_fleet(self):
         assert run_darpa_over_fleet_parallel([], "oracle") == []
+
+    def test_chaotic_plan_is_shard_invariant(self, sessions):
+        # Fault seeds travel with the global fleet index too, so a
+        # chaos run is just as shard-invariant as a clean one.
+        from repro.android.faults import FaultPlan
+        plan = FaultPlan(screenshot_failure_rate=0.2, event_drop_rate=0.1,
+                         detector_failure_rate=0.1)
+        kwargs = {"breaker_failure_threshold": 2}
+
+        def chaos_key(r):
+            return result_key(r) + (tuple(sorted(r.resilience.items())),
+                                    tuple(sorted(r.injected.items())))
+
+        seq = run_darpa_over_fleet(
+            sessions, "oracle", ct_ms=200.0, mode="full",
+            fault_plan=plan, darpa_kwargs=kwargs)
+        par = run_darpa_over_fleet_parallel(
+            sessions, "oracle", ct_ms=200.0, mode="full",
+            n_workers=2, n_shards=3, fault_plan=plan, darpa_kwargs=kwargs)
+        assert [chaos_key(r) for r in par] == [chaos_key(r) for r in seq]
+        # The plan actually did something in this fleet.
+        assert sum(r.resilience["screenshot_failures"] for r in seq) > 0

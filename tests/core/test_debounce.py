@@ -57,11 +57,36 @@ class TestQuiescence:
         clock.advance(500)
         assert len(fired) == 1  # no re-fire without new events
 
-    def test_zero_ct_fires_immediately(self, clock):
+    def test_zero_ct_fires_at_the_same_timestamp(self, clock):
         fired = []
         deb = CutoffDebouncer(clock, 0, fired.append)
         deb.feed(ui_event(clock))
+        # ct == 0 defers through a zero-delay timer (never synchronously
+        # inside event delivery); it fires on the next advance, at the
+        # feed timestamp.
+        assert fired == []
+        assert deb.pending
+        clock.advance(0)
         assert len(fired) == 1
+        assert fired[0].timestamp_ms == clock.now_ms
+
+    def test_zero_ct_callback_feeding_events_does_not_recurse(self, clock):
+        # Regression: _fire used to run synchronously inside feed() when
+        # ct == 0, so a settled callback that fed events re-entered the
+        # debouncer and recursed.
+        fired = []
+        deb = CutoffDebouncer(clock, 0, lambda e: None)
+
+        def settled(event):
+            fired.append(event)
+            if len(fired) < 5:
+                deb.feed(ui_event(clock))  # re-entrant feed from callback
+
+        deb.on_settled = settled
+        deb.feed(ui_event(clock))
+        clock.advance(0)  # drains the whole chain of zero-delay fires
+        assert len(fired) == 5
+        assert not deb.pending
 
     def test_callback_receives_latest_event(self, clock):
         fired = []

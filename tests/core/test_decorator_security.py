@@ -173,3 +173,80 @@ class TestScreenshotPolicy:
         text = policy.give_consent()
         assert "screenshot" in text.lower()
         assert "network" in text.lower() or "transmit" in text.lower()
+
+    def test_failed_capture_counts_no_capture_and_no_rinse(self, device):
+        # When takeScreenshot itself raises, no pixel buffer ever
+        # existed: the ledger must not record a capture (or a phantom
+        # rinse for it).
+        from repro.android.faults import FaultPlan, FaultyDevice, \
+            ScreenshotFailedError
+        faulty = FaultyDevice(plan=FaultPlan(screenshot_failure_rate=1.0),
+                              seed=0)
+        root = View(bounds=Rect(0, 0, 360, 568))
+        faulty.window_manager.attach_app_window(root, "com.demo")
+        svc = AccessibilityService(faulty)
+        policy = ScreenshotPolicy(consent_given=True)
+        with pytest.raises(ScreenshotFailedError):
+            with policy.analyzed_screenshot(svc):
+                pass
+        assert policy.captures == 0
+        assert policy.rinses == 0
+        assert policy.outstanding == 0
+
+
+class TestServiceStartupPolicy:
+    """DarpaService.start() runs the policy checks before anything else."""
+
+    def make_service(self, device, policy):
+        from repro.core import DarpaService
+
+        class NullDetector:
+            def detect_screen(self, screen_image, refine=True,
+                              conf_threshold=None):
+                return []
+
+        return DarpaService(device, NullDetector(), policy=policy)
+
+    def test_start_without_consent_raises(self, device):
+        svc = self.make_service(device, ScreenshotPolicy())
+        with pytest.raises(ConsentError):
+            svc.start()
+        assert not svc.running
+        assert not svc.service.connected  # never registered on the bus
+
+    def test_start_with_internet_manifest_raises(self, device):
+        bad = Manifest(permissions=frozenset({"android.permission.INTERNET"}))
+        svc = self.make_service(
+            device, ScreenshotPolicy(manifest=bad, consent_given=True))
+        with pytest.raises(ManifestViolation):
+            svc.start()
+        assert not svc.running
+
+    def test_consent_then_start_succeeds(self, device):
+        policy = ScreenshotPolicy()
+        svc = self.make_service(device, policy)
+        policy.give_consent()
+        svc.start()
+        assert svc.running and svc.service.connected
+
+    def test_detector_crash_leaves_no_unrinsed_screenshots(self, device):
+        root = View(bounds=Rect(0, 0, 360, 568))
+        device.window_manager.attach_app_window(root, "com.demo")
+        policy = ScreenshotPolicy(consent_given=True)
+
+        from repro.core import DarpaConfig, DarpaService
+
+        class ExplodingDetector:
+            def detect_screen(self, screen_image, refine=True,
+                              conf_threshold=None):
+                raise RuntimeError("native inference aborted")
+
+        svc = DarpaService(device, ExplodingDetector(), policy=policy,
+                           config=DarpaConfig(fallback_to_heuristic=False))
+        svc.start()
+        from repro.android import AccessibilityEventType
+        device.emit_event(
+            AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED, "com.demo")
+        device.clock.advance(1000)
+        assert policy.captures == 1
+        assert policy.outstanding == 0  # rinsed despite the crash

@@ -1,0 +1,127 @@
+"""Tests for the retry/backoff and circuit-breaker primitives."""
+
+import numpy as np
+import pytest
+
+from repro.android import SimulatedClock
+from repro.core.resilience import BreakerState, CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay_ms=50.0, multiplier=2.0,
+                             max_delay_ms=1000.0, jitter_frac=0.0)
+        assert policy.delay_ms(1) == 50.0
+        assert policy.delay_ms(2) == 100.0
+        assert policy.delay_ms(3) == 200.0
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(base_delay_ms=50.0, multiplier=2.0,
+                             max_delay_ms=300.0, jitter_frac=0.0)
+        assert policy.delay_ms(10) == 300.0
+
+    def test_jitter_stays_within_the_fraction(self):
+        policy = RetryPolicy(base_delay_ms=100.0, multiplier=1.0,
+                             jitter_frac=0.25)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            d = policy.delay_ms(1, rng)
+            assert 100.0 <= d <= 125.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy()
+        a = [policy.delay_ms(i, np.random.default_rng(9)) for i in (1, 2, 3)]
+        b = [policy.delay_ms(i, np.random.default_rng(9)) for i in (1, 2, 3)]
+        assert a == b
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay_ms=80.0, jitter_frac=0.5)
+        assert policy.delay_ms(1) == 80.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_ms(0)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # third one trips it
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # streak was broken
+
+    def test_half_opens_after_cooldown(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_ms=5000)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(4999)
+        assert not breaker.allow()
+        clock.advance(1)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # the probe call
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_ms=100)
+        breaker.record_failure()
+        clock.advance(100)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3, cooldown_ms=100)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(100)
+        assert breaker.state is BreakerState.HALF_OPEN
+        # One failure re-opens immediately, ignoring the threshold.
+        assert breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+        # And the new cooldown starts from the re-open time.
+        clock.advance(99)
+        assert not breaker.allow()
+        clock.advance(1)
+        assert breaker.allow()
+
+    def test_opens_counter_accumulates(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_ms=10)
+        for _ in range(4):
+            breaker.record_failure()
+            clock.advance(10)
+        assert breaker.opens == 4
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, cooldown_ms=-1)

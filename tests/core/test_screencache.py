@@ -55,7 +55,7 @@ class TestLru:
         frame = np.full((32, 32, 3), 0.5)
         assert cache.lookup(frame) is None
         cache.put(cache.fingerprint(frame), [box()])
-        assert cache.lookup(frame) == [box()]
+        assert cache.lookup(frame) == (box(),)
         assert cache.hits == 1 and cache.misses == 1
         assert cache.hit_rate == 0.5
 
@@ -71,15 +71,24 @@ class TestLru:
         assert cache.get(keys[0]) is not None
         assert cache.get(keys[2]) is not None
 
-    def test_cached_lists_are_isolated_copies(self):
+    def test_cached_entries_are_isolated_from_the_put_list(self):
         cache = ScreenFingerprintCache()
         detections = [box()]
         cache.put(b"k", detections)
-        detections.append(box(50.0))
+        detections.append(box(50.0))  # caller mutates its list afterwards
+        assert cache.get(b"k") == (box(),)
+
+    def test_entries_are_immutable_tuples(self):
+        # Aliasing regression: entries used to be handed out as lists a
+        # caller (or the decorator consuming them) could mutate,
+        # poisoning every future hit.  Tuples make that impossible.
+        cache = ScreenFingerprintCache()
+        cache.put(b"k", [box()])
         out = cache.get(b"k")
-        assert out == [box()]
-        out.append(box(60.0))
-        assert cache.get(b"k") == [box()]
+        assert isinstance(out, tuple)
+        with pytest.raises(AttributeError):
+            out.append(box(60.0))
+        assert cache.get(b"k") == (box(),)
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
