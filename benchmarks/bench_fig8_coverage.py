@@ -6,11 +6,38 @@ Paper: raising ct from 50ms to 200ms keeps 94.1% of the AUIs
 little additional saving — hence ct=200ms.
 """
 
+from repro.android.device import PerfOp
 from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet_parallel
 from repro.bench.plotting import ascii_line_chart
 from repro.bench.tables import echo
+from repro.core.observability import ops_from_spans
 
 INTERVALS = (50, 100, 200, 300, 400, 500)
+
+
+def _span_derived_workload(results):
+    """Events seen and screens analyzed, recomputed from span dumps.
+
+    Events are the span-attributed EVENT_DELIVERED charges; analyzed
+    screens are the ``analyze`` spans that ran to completion.  Both are
+    asserted equal to the legacy counters before use — Figure 8's
+    workload axis is thereby derived from the trace.
+    """
+    events = 0
+    screens = 0
+    for r in results:
+        ops = ops_from_spans(r.spans)
+        derived_events = ops.get(PerfOp.EVENT_DELIVERED.value, 0)
+        assert derived_events == r.events_total, \
+            f"span-derived event count diverged for {r.package}"
+        derived_screens = sum(
+            1 for s in r.spans
+            if s["name"] == "analyze" and s["attributes"].get("outcome") == "ok")
+        assert derived_screens == r.screens_analyzed, \
+            f"span-derived screen count diverged for {r.package}"
+        events += derived_events
+        screens += derived_screens
+    return events, screens
 
 
 def test_fig8_coverage_vs_interval(benchmark):
@@ -20,10 +47,11 @@ def test_fig8_coverage_vs_interval(benchmark):
         out = {}
         for ct in INTERVALS:
             results = run_darpa_over_fleet_parallel(sessions, "oracle", ct_ms=float(ct),
-                                           mode="full")
+                                           mode="full", trace=True)
+            events, screens = _span_derived_workload(results)
             out[ct] = {
-                "screens_analyzed": sum(r.screens_analyzed for r in results),
-                "events": sum(r.events_total for r in results),
+                "screens_analyzed": screens,
+                "events": events,
                 "auis_shown": sum(r.auis_shown for r in results),
                 "auis_caught": sum(r.auis_flagged for r in results),
             }

@@ -10,6 +10,7 @@ of +4.6% CPU, +2.8% memory, −8.6% frame rate, +6.8% power.
 import numpy as np
 
 from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet_parallel
+from repro.core.observability import report_from_spans
 from repro.vision import PortConfig, port_model
 
 PAPER_ROWS = {
@@ -27,12 +28,28 @@ MODES = {
 }
 
 
-def _mean_report(results):
-    cpu = float(np.mean([r.perf.cpu_pct for r in results]))
-    mem = float(np.mean([r.perf.memory_mb for r in results]))
-    fps = float(np.mean([r.perf.fps for r in results]))
-    mw = float(np.mean([r.perf.power_mw for r in results]))
+def _mean_report(reports):
+    cpu = float(np.mean([p.cpu_pct for p in reports]))
+    mem = float(np.mean([p.memory_mb for p in reports]))
+    fps = float(np.mean([p.fps for p in reports]))
+    mw = float(np.mean([p.power_mw for p in reports]))
     return cpu, mem, fps, mw
+
+
+def _span_derived_reports(results):
+    """Rebuild each session's PerfReport purely from its span dump.
+
+    The rebuilt report must be bit-identical to the legacy meter
+    measurement — the table below is therefore *derived from spans*,
+    not from the meter, without changing a digit.
+    """
+    reports = []
+    for r in results:
+        rebuilt = report_from_spans(r.spans, duration_ms=60_000.0)
+        assert rebuilt == r.perf, \
+            f"span-derived report diverged from the meter for {r.package}"
+        reports.append(rebuilt)
+    return reports
 
 
 def test_table7_performance_overhead(benchmark, trained_model):
@@ -43,8 +60,8 @@ def test_table7_performance_overhead(benchmark, trained_model):
         out = {}
         for label, mode in MODES.items():
             results = run_darpa_over_fleet_parallel(sessions, ported, ct_ms=200.0,
-                                           mode=mode)
-            out[label] = _mean_report(results)
+                                           mode=mode, trace=True)
+            out[label] = _mean_report(_span_derived_reports(results))
         return out
 
     measured = benchmark.pedantic(run, rounds=1, iterations=1)

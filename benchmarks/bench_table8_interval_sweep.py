@@ -11,6 +11,7 @@ whatever model sits behind them.
 import numpy as np
 
 from repro.bench import build_runtime_fleet, print_table, run_darpa_over_fleet_parallel
+from repro.core.observability import report_from_spans
 
 PAPER_ROWS = {
     50: (86.5, 4452.53, 59, 586.92),
@@ -31,12 +32,21 @@ def test_table8_interval_sweep(benchmark):
         out = {}
         for ct in INTERVALS:
             results = run_darpa_over_fleet_parallel(sessions, "oracle", ct_ms=float(ct),
-                                           mode="full")
+                                           mode="full", trace=True)
+            # The sweep's numbers are rebuilt purely from the exported
+            # spans; each rebuild is asserted bit-identical to the
+            # legacy meter measurement before it is averaged.
+            reports = []
+            for r in results:
+                rebuilt = report_from_spans(r.spans, duration_ms=60_000.0)
+                assert rebuilt == r.perf, \
+                    f"span-derived report diverged at ct={ct}"
+                reports.append(rebuilt)
             out[ct] = (
-                float(np.mean([r.perf.cpu_pct for r in results])),
-                float(np.mean([r.perf.memory_mb for r in results])),
-                float(np.mean([r.perf.fps for r in results])),
-                float(np.mean([r.perf.power_mw for r in results])),
+                float(np.mean([p.cpu_pct for p in reports])),
+                float(np.mean([p.memory_mb for p in reports])),
+                float(np.mean([p.fps for p in reports])),
+                float(np.mean([p.power_mw for p in reports])),
             )
         return out
 

@@ -88,6 +88,11 @@ class AccessibilityService:
         self.notification_timeout_ms = notification_timeout_ms
         self.on_event: Optional[Callable[[AccessibilityEvent], None]] = None
         self.connected = False
+        #: Optional :class:`repro.core.observability.Tracer`; when set,
+        #: every event receipt runs inside an ``event`` span and its
+        #: delivery charge is attributed there.  None (the default)
+        #: keeps this module decoupled from the tracing layer.
+        self.tracer = None
         self._pending: Optional[AccessibilityEvent] = None
         self._timer: Optional[int] = None
         self._overlays: List[View] = []
@@ -121,6 +126,14 @@ class AccessibilityService:
     # -- event delivery ----------------------------------------------------
 
     def _receive(self, event: AccessibilityEvent) -> None:
+        if self.tracer is None:
+            self._receive_inner(event)
+            return
+        with self.tracer.span("event", type=event.event_type.name,
+                              package=event.package):
+            self._receive_inner(event)
+
+    def _receive_inner(self, event: AccessibilityEvent) -> None:
         self.device.perf.record(PerfOp.EVENT_DELIVERED)
         if self.notification_timeout_ms <= 0:
             self._deliver(event)

@@ -106,17 +106,39 @@ class PerfReport:
 
 
 class PerfMeter:
-    """Accumulates operation counts and derives averaged metrics."""
+    """Accumulates operation counts and derives averaged metrics.
+
+    Observers (see :meth:`set_observers`) let the tracing layer mirror
+    every charge without the meter knowing anything about spans: the
+    hooks fire after the meter's own bookkeeping and default to None,
+    so an unobserved meter costs one predicate per call.
+    """
 
     def __init__(self, profile: DeviceProfile):
         self.profile = profile
         self._counts: Dict[PerfOp, int] = {op: 0 for op in PerfOp}
         self._components: set = set()
+        self._on_record: Optional[Callable[[PerfOp, int], None]] = None
+        self._on_component: Optional[Callable[[str], None]] = None
+        self._on_reset: Optional[Callable[[], None]] = None
+
+    def set_observers(
+        self,
+        on_record: Optional[Callable[[PerfOp, int], None]] = None,
+        on_component: Optional[Callable[[str], None]] = None,
+        on_reset: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Install (or clear) the charge/component/reset observers."""
+        self._on_record = on_record
+        self._on_component = on_component
+        self._on_reset = on_reset
 
     def record(self, op: PerfOp, n: int = 1) -> None:
         if n < 0:
             raise ValueError("operation count cannot be negative")
         self._counts[op] += n
+        if self._on_record is not None:
+            self._on_record(op, n)
 
     def enable_component(self, name: str) -> None:
         """Mark a DARPA component (``monitoring`` | ``detection`` |
@@ -125,13 +147,24 @@ class PerfMeter:
         if name not in allowed:
             raise ValueError(f"unknown component {name!r}; expected one of {sorted(allowed)}")
         self._components.add(name)
+        if self._on_component is not None:
+            self._on_component(name)
 
     def count(self, op: PerfOp) -> int:
         return self._counts[op]
 
+    def counts(self) -> Dict[str, int]:
+        """Current totals keyed by op value (read-only copy)."""
+        return {op.value: c for op, c in self._counts.items()}
+
+    def components(self) -> set:
+        return set(self._components)
+
     def reset(self) -> None:
         self._counts = {op: 0 for op in PerfOp}
         self._components = set()
+        if self._on_reset is not None:
+            self._on_reset()
 
     def report(self, duration_ms: float) -> PerfReport:
         """Averaged metrics over a run of ``duration_ms``."""

@@ -139,6 +139,10 @@ class FraudDroidScreenDetector:
             screen_w=device.screen.width,
             screen_h=device.screen.height,
         )
+        #: Hierarchy nodes examined by the most recent pass — the
+        #: heuristic's workload unit, surfaced so the tracing layer can
+        #: attach it to ``fallback`` spans.
+        self.last_node_count = 0
 
     def detect_screen(self, screen_image, refine: bool = True,
                       conf_threshold: Optional[float] = None
@@ -148,6 +152,7 @@ class FraudDroidScreenDetector:
             self.device.window_manager,
             package=top.package if top is not None else None,
         )
+        self.last_node_count = len(nodes)
         detections = self.inner.detect_nodes(nodes)
         if conf_threshold is not None:
             detections = [d for d in detections if d.score >= conf_threshold]

@@ -19,8 +19,12 @@ from repro.bench.experiments import (
     get_test_dataset,
     get_trained_model,
     run_darpa_over_fleet,
+    run_darpa_session,
 )
-from repro.bench.parallel import run_darpa_over_fleet_parallel
+from repro.bench.parallel import (
+    merge_trace_artifacts,
+    run_darpa_over_fleet_parallel,
+)
 
 __all__ = [
     "BenchCache",
@@ -33,5 +37,7 @@ __all__ = [
     "get_test_dataset",
     "get_trained_model",
     "run_darpa_over_fleet",
+    "run_darpa_session",
+    "merge_trace_artifacts",
     "run_darpa_over_fleet_parallel",
 ]

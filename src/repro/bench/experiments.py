@@ -30,6 +30,7 @@ from repro.android.faults import (
 from repro.android.monkey import Monkey
 from repro.android.resources import ResourceIdPolicy
 from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
+from repro.core.observability import Tracer
 from repro.datagen import build_corpus, build_non_aui_screen, build_aui_screen, split_corpus
 from repro.datagen.corpus import Corpus
 from repro.vision import (
@@ -285,6 +286,14 @@ class SessionResult:
     resilience: Dict[str, int] = field(default_factory=dict)
     #: FaultInjector counters — what the chaos plan actually injected.
     injected: Dict[str, int] = field(default_factory=dict)
+    #: Exported spans (JSON-ready dicts) when the session ran with
+    #: ``trace=True``; None otherwise.  The root ``session`` span plus
+    #: every nested stage — :func:`repro.core.observability.report_from_spans`
+    #: rebuilds :attr:`perf` from these bit-for-bit.
+    spans: Optional[List[Dict]] = None
+    #: MetricsRegistry snapshot (counters/gauges/histograms) of a traced
+    #: run; empty when tracing was off or the mode had no service.
+    metrics: Dict = field(default_factory=dict)
 
 
 class _NullDetector:
@@ -330,6 +339,7 @@ def run_darpa_session(
     conf_threshold: float = DEFAULT_CONF_THRESHOLD,
     fault_plan: Optional[FaultPlan] = None,
     darpa_kwargs: Optional[Dict] = None,
+    trace: bool = False,
 ) -> SessionResult:
     """Replay one session under a DARPA configuration.
 
@@ -343,6 +353,12 @@ def run_darpa_session(
     or shard count.  ``darpa_kwargs`` forwards extra
     :class:`DarpaConfig` fields (e.g. ``deadline_ms``,
     ``breaker_failure_threshold``) to the service.
+
+    ``trace=True`` runs the whole session under a
+    :class:`~repro.core.observability.Tracer`: the result carries the
+    exported spans and a metrics snapshot, and every cost-model charge
+    is attributed to exactly one span — with tracing off the run is
+    bit-identical, just unobserved.
     """
     if mode not in ("baseline", "monitor", "detect", "full"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -352,6 +368,12 @@ def run_darpa_session(
         device: Device = FaultyDevice(plan=session_plan, seed=monkey_seed or 0)
     else:
         device = Device(seed=monkey_seed or 0)
+    tracer: Optional[Tracer] = None
+    if trace:
+        # Observe the meter before anything records: even the baseline
+        # mode (no service) attributes its charges to the session root.
+        tracer = Tracer(device.clock, trace_id=f"session-{monkey_seed or 0}")
+        tracer.observe_perf(device.perf)
     app = SimulatedApp(device, session.spec)
     stub_screens = False
     if detector == "oracle":
@@ -371,7 +393,8 @@ def run_darpa_session(
                              stub_screenshots=stub_screens or mode == "monitor",
                              **(darpa_kwargs or {}))
         service = DarpaService(device, active_detector, config=config,
-                               policy=ScreenshotPolicy(consent_given=True))
+                               policy=ScreenshotPolicy(consent_given=True),
+                               tracer=tracer)
         service.start()
         if mode == "monitor":
             # Monitoring only: collect settled screenshots, never run
@@ -411,6 +434,10 @@ def run_darpa_session(
 
         service.debouncer.on_settled = settled_with_frauddroid
 
+    root_span = None
+    if tracer is not None:
+        root_span = tracer.start_span("session", package=session.spec.package,
+                                      mode=mode, ct_ms=ct_ms)
     app.launch()
     if monkey_seed is not None:
         Monkey(device, seed=monkey_seed, taps_per_second=1.0).schedule_run(duration_ms)
@@ -418,6 +445,11 @@ def run_darpa_session(
     # when the minute ran out must not get a free post-session capture.
     device.clock.advance(duration_ms)
     app.finish()
+    if tracer is not None:
+        # Component residency rides on the root span so
+        # report_from_spans can replay the meter's memory charges.
+        tracer.end_span(root_span, components=sorted(tracer.components),
+                        duration_ms=duration_ms)
 
     # Per-screen verdicts: a shown screen is flagged when any analysis
     # during its display found a UPO.
@@ -463,6 +495,13 @@ def run_darpa_session(
     if faults is not None:
         injected = dict(faults.counts)
 
+    spans: Optional[List[Dict]] = None
+    metrics: Dict = {}
+    if tracer is not None:
+        spans = tracer.export()
+        if tracer.registry is not None:
+            metrics = tracer.registry.snapshot()
+
     return SessionResult(
         package=session.spec.package,
         perf=device.perf.report(duration_ms),
@@ -474,6 +513,8 @@ def run_darpa_session(
         auis_flagged=sum(1 for labeled, f in verdicts if labeled and f),
         resilience=resilience,
         injected=injected,
+        spans=spans,
+        metrics=metrics,
     )
 
 
@@ -486,11 +527,13 @@ def run_darpa_over_fleet(
     conf_threshold: float = DEFAULT_CONF_THRESHOLD,
     fault_plan: Optional[FaultPlan] = None,
     darpa_kwargs: Optional[Dict] = None,
+    trace: bool = False,
 ) -> List[SessionResult]:
     return [
         run_darpa_session(s, detector, ct_ms=ct_ms, mode=mode,
                           monkey_seed=1000 + i, frauddroid=frauddroid,
                           conf_threshold=conf_threshold,
-                          fault_plan=fault_plan, darpa_kwargs=darpa_kwargs)
+                          fault_plan=fault_plan, darpa_kwargs=darpa_kwargs,
+                          trace=trace)
         for i, s in enumerate(sessions)
     ]

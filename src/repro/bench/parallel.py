@@ -18,6 +18,7 @@ inherited copy-on-write instead of re-pickled).
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -32,19 +33,72 @@ from repro.bench.experiments import (
 )
 
 
+def _write_session_artifacts(trace_fp, metrics_fp, index: int,
+                             result: SessionResult) -> None:
+    """One session's spans + metrics snapshot as sorted-key JSONL.
+
+    Every line carries the *global* session index, so merged files are
+    self-describing and line order is auditable.
+    """
+    for span in result.spans or ():
+        trace_fp.write(json.dumps({"session": index, **span},
+                                  sort_keys=True) + "\n")
+    metrics_fp.write(json.dumps({"session": index, "metrics": result.metrics},
+                                sort_keys=True) + "\n")
+
+
+def _write_shard_artifacts(trace_dir: str,
+                           results: List[Tuple[int, SessionResult]]) -> None:
+    """Write one shard's trace/metrics part files, named by the shard's
+    first global index (shards are contiguous, so lexicographic part
+    order IS global session order)."""
+    lo = results[0][0]
+    trace_path = os.path.join(trace_dir, f"shard-{lo:06d}.trace.jsonl")
+    metrics_path = os.path.join(trace_dir, f"shard-{lo:06d}.metrics.jsonl")
+    with open(trace_path, "w") as tfp, open(metrics_path, "w") as mfp:
+        for index, result in results:
+            _write_session_artifacts(tfp, mfp, index, result)
+
+
+def merge_trace_artifacts(trace_dir: str) -> Tuple[str, str]:
+    """Merge shard part files into ``trace.jsonl`` + ``metrics.jsonl``.
+
+    Part files are concatenated in sorted filename order — global
+    session order, since shards are contiguous index ranges named by
+    their first index — then removed.  The merged bytes are identical
+    for any worker/shard count, which the artifact tests assert.
+    """
+    out_paths = []
+    for kind in ("trace", "metrics"):
+        parts = sorted(
+            name for name in os.listdir(trace_dir)
+            if name.startswith("shard-") and name.endswith(f".{kind}.jsonl"))
+        out_path = os.path.join(trace_dir, f"{kind}.jsonl")
+        with open(out_path, "w") as out_fp:
+            for name in parts:
+                part_path = os.path.join(trace_dir, name)
+                with open(part_path) as fp:
+                    out_fp.write(fp.read())
+                os.remove(part_path)
+        out_paths.append(out_path)
+    return out_paths[0], out_paths[1]
+
+
 def _run_shard(payload) -> List[Tuple[int, SessionResult]]:
     """Worker entry: replay one shard of (global index, session) pairs."""
     (indices, sessions, detector, ct_ms, mode, frauddroid, conf,
-     fault_plan, darpa_kwargs) = payload
+     fault_plan, darpa_kwargs, trace, trace_dir) = payload
     out: List[Tuple[int, SessionResult]] = []
     for index, session in zip(indices, sessions):
         result = run_darpa_session(
             session, detector, ct_ms=ct_ms, mode=mode,
             monkey_seed=1000 + index, frauddroid=frauddroid,
             conf_threshold=conf, fault_plan=fault_plan,
-            darpa_kwargs=darpa_kwargs,
+            darpa_kwargs=darpa_kwargs, trace=trace,
         )
         out.append((index, result))
+    if trace_dir is not None and out:
+        _write_shard_artifacts(trace_dir, out)
     return out
 
 
@@ -67,6 +121,8 @@ def run_darpa_over_fleet_parallel(
     n_shards: Optional[int] = None,
     fault_plan=None,
     darpa_kwargs=None,
+    trace: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> List[SessionResult]:
     """Run a fleet across worker processes; results in fleet order.
 
@@ -76,16 +132,31 @@ def run_darpa_over_fleet_parallel(
     inline — no pool, no pickling.  ``fault_plan``/``darpa_kwargs``
     forward to :func:`run_darpa_session`; fault seeds travel with the
     global index, so chaos runs are shard-invariant too.
+
+    ``trace=True`` traces every session (results carry spans/metrics).
+    ``trace_dir`` (implies tracing) additionally writes per-shard
+    ``shard-<first-index>.{trace,metrics}.jsonl`` part files and merges
+    them into ``trace.jsonl`` + ``metrics.jsonl`` by global session
+    index — byte-identical for any worker/shard count.
     """
+    if trace_dir is not None:
+        trace = True
+        os.makedirs(trace_dir, exist_ok=True)
     n = len(sessions)
     if n_workers is None:
         n_workers = min(n, os.cpu_count() or 1)
     n_workers = max(1, min(n_workers, n)) if n else 1
     if n_workers <= 1 or n <= 1:
-        return run_darpa_over_fleet(
+        results = run_darpa_over_fleet(
             sessions, detector, ct_ms=ct_ms, mode=mode,
             frauddroid=frauddroid, conf_threshold=conf_threshold,
-            fault_plan=fault_plan, darpa_kwargs=darpa_kwargs)
+            fault_plan=fault_plan, darpa_kwargs=darpa_kwargs, trace=trace)
+        if trace_dir is not None and results:
+            # Same shard-then-merge path as the pool, with one shard:
+            # the merged bytes must not depend on how the fleet ran.
+            _write_shard_artifacts(trace_dir, list(enumerate(results)))
+            merge_trace_artifacts(trace_dir)
+        return results
     if n_shards is None:
         n_shards = n_workers
     n_shards = max(1, min(n_shards, n))
@@ -101,7 +172,7 @@ def run_darpa_over_fleet_parallel(
         indices = list(range(lo, hi))
         payloads.append((indices, list(sessions[lo:hi]), detector, ct_ms,
                          mode, frauddroid, conf_threshold, fault_plan,
-                         darpa_kwargs))
+                         darpa_kwargs, trace, trace_dir))
 
     merged: List[Optional[SessionResult]] = [None] * n
     with ProcessPoolExecutor(max_workers=n_workers,
@@ -110,4 +181,6 @@ def run_darpa_over_fleet_parallel(
             for index, result in shard:
                 merged[index] = result
     assert all(r is not None for r in merged), "lost a session result"
+    if trace_dir is not None:
+        merge_trace_artifacts(trace_dir)
     return merged  # type: ignore[return-value]

@@ -6,6 +6,7 @@ Commands:
 - ``train``     — train a detector, report test metrics, save weights
 - ``evaluate``  — evaluate a saved detector on the test split
 - ``simulate``  — run DARPA over a simulated app fleet (Table VI style)
+- ``trace``     — trace one session, dump span JSONL + stage summary
 - ``survey``    — user-study findings (Section III-B)
 """
 
@@ -133,6 +134,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import build_runtime_fleet, run_darpa_session
+    from repro.core.observability import (
+        report_from_spans,
+        session_root,
+        stage_cpu_ms,
+    )
+
+    detector = "oracle" if args.model is None else _load_model(args.model)
+    if args.model is None:
+        print("No --model given; using the ground-truth oracle detector.")
+    sessions = build_runtime_fleet(n_apps=max(1, args.session + 1),
+                                   seed=args.seed)
+    session = sessions[args.session]
+    print(f"Tracing session {args.session} ({session.spec.package}) "
+          f"at ct={args.ct}ms...")
+    result = run_darpa_session(session, detector, ct_ms=args.ct, mode="full",
+                               monkey_seed=1000 + args.session, trace=True)
+    with open(args.output, "w") as fp:
+        for span in result.spans:
+            fp.write(json.dumps(span, sort_keys=True) + "\n")
+    print(f"Wrote {len(result.spans)} spans to {args.output}")
+
+    root = session_root(result.spans)
+    by_stage: dict = {}
+    for span in result.spans:
+        name = span["name"]
+        count, dur = by_stage.get(name, (0, 0.0))
+        by_stage[name] = (count + 1, dur + (span["end_ms"] - span["start_ms"]))
+    cpu = stage_cpu_ms(result.spans)
+    print(f"\n{'stage':<12} {'spans':>6} {'wall ms':>10} {'cpu ms':>10}")
+    for name in sorted(by_stage):
+        count, dur = by_stage[name]
+        print(f"{name:<12} {count:>6} {dur:>10.1f} {cpu.get(name, 0.0):>10.1f}")
+    rebuilt = report_from_spans(result.spans)
+    assert rebuilt == result.perf, "span-derived report diverged"
+    print(f"\nsession: {root['end_ms'] - root['start_ms']:.0f} ms, "
+          f"{result.screens_analyzed} screens analyzed")
+    print(f"span-derived perf (bit-equal to the meter): "
+          f"{rebuilt.cpu_pct:.1f}% CPU, {rebuilt.fps:.0f} fps, "
+          f"{rebuilt.power_mw:.0f} mW")
+    return 0
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     del args
     from examples.user_study_report import main as report
@@ -172,6 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--model", default=None,
                        help="saved model (.npz); omit for the oracle")
 
+    p_trace = sub.add_parser("trace", help="trace one session to JSONL")
+    p_trace.add_argument("--session", type=int, default=0,
+                         help="fleet index of the session to trace")
+    p_trace.add_argument("--ct", type=float, default=200.0)
+    p_trace.add_argument("--model", default=None,
+                         help="saved model (.npz); omit for the oracle")
+    p_trace.add_argument("--output", default="trace.jsonl")
+
     sub.add_parser("survey", help="user-study findings")
     return parser
 
@@ -181,6 +236,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "simulate": _cmd_simulate,
+    "trace": _cmd_trace,
     "survey": _cmd_survey,
 }
 

@@ -16,6 +16,21 @@
 from repro.core.config import DarpaConfig, DecorationStyle
 from repro.core.debounce import CutoffDebouncer
 from repro.core.decorator import ViewDecorator
+from repro.core.observability import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    PlanProfiler,
+    Span,
+    Tracer,
+    ops_from_spans,
+    report_from_spans,
+    session_root,
+    stage_cpu_ms,
+)
 from repro.core.resilience import BreakerState, CircuitBreaker, RetryPolicy
 from repro.core.security import (
     DARPA_MANIFEST,
@@ -41,4 +56,17 @@ __all__ = [
     "DarpaService",
     "DarpaStats",
     "ScreenFingerprintCache",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "PlanProfiler",
+    "Span",
+    "Tracer",
+    "ops_from_spans",
+    "report_from_spans",
+    "session_root",
+    "stage_cpu_ms",
 ]

@@ -31,7 +31,7 @@ which ``benchmarks/bench_chaos.py`` asserts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -45,9 +45,19 @@ from repro.baselines.frauddroid import FraudDroidScreenDetector
 from repro.core.config import DarpaConfig
 from repro.core.debounce import CutoffDebouncer
 from repro.core.decorator import ViewDecorator
-from repro.core.resilience import CircuitBreaker, RetryPolicy
+from repro.core.observability import (
+    NULL_TRACER,
+    MetricsRegistry,
+    PlanProfiler,
+    Tracer,
+)
+from repro.core.resilience import BreakerState, CircuitBreaker, RetryPolicy
 from repro.core.screencache import ScreenFingerprintCache
 from repro.core.security import ScreenshotPolicy
+
+#: Gauge encoding of the detector breaker state.
+_BREAKER_GAUGE = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1,
+                  BreakerState.OPEN: 2}
 
 
 class Detector(Protocol):
@@ -83,35 +93,122 @@ class AnalysisRecord:
                    for d in self.detections)
 
 
-@dataclass
-class DarpaStats:
-    """Counters the evaluation section reads off a run."""
-
-    events_seen: int = 0
-    screens_analyzed: int = 0
-    auis_flagged: int = 0
-    decorations_drawn: int = 0
-    bypass_clicks: int = 0
-    #: Settled screens answered from the fingerprint cache (no CNN run)
-    #: vs. screens that went through the detector.
-    cache_hits: int = 0
-    cache_misses: int = 0
+#: Every DarpaStats counter, in declaration order.  The registry names
+#: are ``darpa.pipeline.<name>``; the attribute view keeps the historic
+#: field names so call sites (and their ``+=``) are unchanged.
+STAT_COUNTERS: Tuple[str, ...] = (
+    "events_seen",
+    "screens_analyzed",
+    "auis_flagged",
+    "decorations_drawn",
+    "bypass_clicks",
+    # Settled screens answered from the fingerprint cache (no CNN run)
+    # vs. screens that went through the detector.
+    "cache_hits",
+    "cache_misses",
     # -- resilience counters (all zero on a fault-free run) -------------
-    #: ``takeScreenshot`` calls that raised (throttled or failed).
-    screenshot_failures: int = 0
-    #: Backoff retries scheduled after a failed capture.
-    retries: int = 0
-    #: Detector inferences that raised.
-    detector_failures: int = 0
-    #: CLOSED/HALF_OPEN -> OPEN transitions of the detector breaker.
-    breaker_opens: int = 0
-    #: Analyses answered by the FraudDroid heuristic instead of the CNN.
-    fallback_detections: int = 0
-    #: Analyses abandoned by the per-screen watchdog deadline.
-    deadline_skips: int = 0
-    #: Decoration overlay mounts the WindowManager refused.
-    overlay_rejections: int = 0
-    records: List[AnalysisRecord] = field(default_factory=list)
+    # takeScreenshot calls that raised (throttled or failed).
+    "screenshot_failures",
+    # Backoff retries scheduled after a failed capture.
+    "retries",
+    # Detector inferences that raised.
+    "detector_failures",
+    # CLOSED/HALF_OPEN -> OPEN transitions of the detector breaker.
+    "breaker_opens",
+    # Analyses answered by the FraudDroid heuristic instead of the CNN.
+    "fallback_detections",
+    # Analyses abandoned by the per-screen watchdog deadline.
+    "deadline_skips",
+    # Decoration overlay mounts the WindowManager refused.
+    "overlay_rejections",
+)
+
+
+class DarpaStats:
+    """Counters the evaluation section reads off a run.
+
+    Historically an ad-hoc dataclass of int fields; now a thin
+    compatibility view over a :class:`MetricsRegistry` — each attribute
+    in :data:`STAT_COUNTERS` reads and writes the registry counter
+    ``darpa.pipeline.<name>``, so ``stats.retries += 1`` and the
+    registry's ``snapshot()`` always agree.  ``records`` stays a plain
+    list of :class:`AnalysisRecord`.
+
+    Counters are **never reset implicitly** — not by
+    ``DarpaService.stop()``/``start()`` cycles — only by an explicit
+    :meth:`reset` (see ``DarpaService.reset_stats``).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.records: List[AnalysisRecord] = []
+        # Pre-create every counter so snapshot key order is stable and
+        # zero-valued counters still appear in exports.
+        for name in STAT_COUNTERS:
+            self.registry.counter(f"darpa.pipeline.{name}")
+
+    def snapshot(self) -> dict:
+        """Counter values keyed by the historic field names."""
+        return {name: getattr(self, name) for name in STAT_COUNTERS}
+
+    def reset(self) -> None:
+        """Zero every counter and drop the analysis records."""
+        for name in STAT_COUNTERS:
+            self.registry.counter(f"darpa.pipeline.{name}").reset()
+        self.records = []
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality over counters + records, matching the historic
+        # dataclass semantics the parity tests rely on.
+        if not isinstance(other, DarpaStats):
+            return NotImplemented
+        return (self.snapshot() == other.snapshot()
+                and self.records == other.records)
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.snapshot().items() if v}
+        return f"DarpaStats({nonzero}, records={len(self.records)})"
+
+
+def _stat_property(name: str) -> property:
+    full = f"darpa.pipeline.{name}"
+
+    def fget(self: DarpaStats) -> int:
+        return self.registry.counter(full).value
+
+    def fset(self: DarpaStats, value: int) -> None:
+        self.registry.counter(full).value = value
+
+    return property(fget, fset, doc=f"Compatibility view of {full!r}.")
+
+
+for _name in STAT_COUNTERS:
+    setattr(DarpaStats, _name, _stat_property(_name))
+del _name
+
+
+def _find_inference_plan(detector: object) -> Optional[object]:
+    """Walk a detector's wrapper chain to its compiled InferencePlan.
+
+    The serving stack nests detectors (``FaultyDetector.inner`` →
+    ``MobilePort.model`` → ``TinyYolo``); the first object exposing an
+    ``inference_plan()`` wins.  Returns None for plan-less detectors
+    (oracles, test fakes, the metadata heuristic), for which profiling
+    is simply skipped.
+    """
+    obj = detector
+    for _ in range(4):
+        plan_fn = getattr(obj, "inference_plan", None)
+        if callable(plan_fn):
+            return plan_fn()
+        for attr in ("inner", "model"):
+            nxt = getattr(obj, attr, None)
+            if nxt is not None and nxt is not obj:
+                obj = nxt
+                break
+        else:
+            return None
+    return None
 
 
 class DarpaService:
@@ -123,6 +220,7 @@ class DarpaService:
         detector: Detector,
         config: Optional[DarpaConfig] = None,
         policy: Optional[ScreenshotPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.device = device
         self.detector = detector
@@ -134,6 +232,16 @@ class DarpaService:
             device.clock, self.config.ct_ms, self._on_settled
         )
         self.stats = DarpaStats()
+        # Tracing is opt-in and bit-inert when off: the NULL_TRACER
+        # records nothing and the pipeline draws no extra randomness or
+        # perf charges either way.  A real tracer without its own
+        # registry adopts the stats registry, so stage histograms and
+        # the DarpaStats counters share one export.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and self.tracer.registry is None:
+            self.tracer.registry = self.stats.registry
+        self._plan_profiler: Optional[PlanProfiler] = None
+        self._traced_plan = None
         # The fingerprint cache only makes sense over real pixels:
         # stubbed runs capture 1x1 placeholder frames that would all
         # collide on one key and replay wrong detections.
@@ -165,9 +273,17 @@ class DarpaService:
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:
-        """Consent check, event registration, component residency."""
+        """Consent check, event registration, component residency.
+
+        Stats are cumulative across ``stop()``/``start()`` cycles —
+        restarting never implicitly zeroes a counter.  Call
+        :meth:`reset_stats` for an explicit fresh measurement window.
+        """
         self.policy.check_startup()
         self.service.on_event = self._on_event
+        if self.tracer.enabled:
+            self.service.tracer = self.tracer
+            self.tracer.observe_perf(self.device.perf)
         self.service.connect()
         perf = self.device.perf
         perf.enable_component("monitoring")
@@ -181,6 +297,23 @@ class DarpaService:
         self.decorator.remove_all()
         self.service.disconnect()
         self._running = False
+
+    def reset_stats(self, reset_perf: bool = False) -> None:
+        """Zero the run counters (and optionally the device perf meter).
+
+        This is the only way counters reset: lifecycle transitions never
+        do it implicitly, so overlapping measurement windows can't
+        silently lose or double-count work.  ``reset_perf=True`` also
+        resets the device's cost-model meter and the fingerprint-cache
+        hit/miss tallies, aligning every measurement surface on one
+        zero point.
+        """
+        self.stats.reset()
+        if reset_perf:
+            self.device.perf.reset()
+            if self._screen_cache is not None:
+                self._screen_cache.hits = 0
+                self._screen_cache.misses = 0
 
     @property
     def running(self) -> bool:
@@ -209,6 +342,12 @@ class DarpaService:
             return  # our own overlays; never analyze ourselves
         if event.package in self.config.trusted_packages:
             return
+        # The settle wait is only known in hindsight: it began at the
+        # last UI event and ended just now, when the quiescence timer
+        # fired — recorded retroactively as a closed `debounce` span.
+        self.tracer.emit(
+            "debounce", start_ms=event.timestamp_ms,
+            end_ms=self.device.clock.now_ms, package=event.package)
         # A newly settled screen supersedes any retry still pending for
         # the previous one — that frame is gone.
         self._cancel_retry()
@@ -236,22 +375,43 @@ class DarpaService:
     # -- analysis -------------------------------------------------------
 
     def _analyze(self, event: AccessibilityEvent, attempt: int) -> None:
+        tracer = self.tracer
+        with tracer.span("analyze", package=event.package,
+                         attempt=attempt) as a_span:
+            self._analyze_traced(event, attempt, a_span)
+        self._update_gauges()
+
+    def _analyze_traced(self, event: AccessibilityEvent, attempt: int,
+                        a_span) -> None:
+        tracer = self.tracer
         # Remove previous decorations BEFORE the screenshot, so the
         # model never sees (and re-detects) our own overlays.
         self.decorator.remove_all()
         try:
-            with self.policy.analyzed_screenshot(
-                    self.service, stub=self.config.stub_screenshots) as shot:
-                outcome = self._detect(shot)
+            # Enter the capture-analyze-rinse context by hand so the
+            # `screenshot` span brackets only the capture: the policy's
+            # rinse guarantee is preserved by the finally below.
+            shot_cm = self.policy.analyzed_screenshot(
+                self.service, stub=self.config.stub_screenshots)
+            with tracer.span("screenshot", attempt=attempt):
+                shot = shot_cm.__enter__()
         except ScreenshotFailedError:
             # Transient capture failure (including OS throttling):
             # back off and retry on the clock instead of losing the
             # screen — unless the budget is exhausted.
             self.stats.screenshot_failures += 1
-            if attempt < self.retry_policy.max_attempts:
+            retrying = attempt < self.retry_policy.max_attempts
+            tracer.annotate(a_span, outcome="screenshot_failed",
+                            retry_scheduled=retrying)
+            if retrying:
                 self._schedule_retry(event, attempt)
             return
+        try:
+            outcome = self._detect(shot)
+        finally:
+            shot_cm.__exit__(None, None, None)
         if outcome is None:
+            tracer.annotate(a_span, outcome="deadline_abandoned")
             return  # watchdog abandoned the analysis
         detections, degraded = outcome
         record = AnalysisRecord(
@@ -265,15 +425,32 @@ class DarpaService:
         self.stats.screens_analyzed += 1
         if record.flagged_aui:
             self.stats.auis_flagged += 1
+        tracer.annotate(a_span, outcome="ok", degraded=degraded,
+                        detections=len(detections),
+                        flagged=record.flagged_aui)
         if detections and self.config.decorate:
-            if self.config.auto_bypass:
-                clicked = self.decorator.bypass(detections)
-                if clicked is not None:
-                    self.stats.bypass_clicks += 1
-                    return
-            applied = self.decorator.decorate(detections)
-            self.stats.decorations_drawn += len(applied)
-            self.stats.overlay_rejections += self.decorator.take_rejections()
+            with tracer.span("decorate",
+                             detections=len(detections)) as d_span:
+                if self.config.auto_bypass:
+                    clicked = self.decorator.bypass(detections)
+                    if clicked is not None:
+                        self.stats.bypass_clicks += 1
+                        tracer.annotate(d_span, bypassed=True)
+                        return
+                applied = self.decorator.decorate(detections)
+                self.stats.decorations_drawn += len(applied)
+                rejected = self.decorator.take_rejections()
+                self.stats.overlay_rejections += rejected
+                tracer.annotate(d_span, applied=len(applied),
+                                rejected=rejected)
+
+    def _update_gauges(self) -> None:
+        registry = self.stats.registry
+        registry.gauge("darpa.breaker.state").set(
+            _BREAKER_GAUGE[self.breaker.state])
+        if self._screen_cache is not None:
+            registry.gauge("darpa.cache.entries").set(
+                len(self._screen_cache))
 
     def _detect(self, shot) -> Optional[Tuple[Sequence[ScoredBox], bool]]:
         """Cache probe, breaker-guarded inference, degraded fallback.
@@ -281,58 +458,107 @@ class DarpaService:
         Returns ``(detections, degraded)`` or None when the watchdog
         abandoned the analysis.
         """
+        tracer = self.tracer
         key: Optional[bytes] = None
         if self._screen_cache is not None:
             # Probe before the CNN: fingerprinting + lookup is ~2
             # CPU-ms against 100 for an inference (Table VII).
-            key = self._screen_cache.fingerprint(shot.pixels)
-            self.device.perf.record(PerfOp.CACHE_PROBE)
-            cached = self._screen_cache.get(key)
+            with tracer.span("cache_probe") as c_span:
+                key = self._screen_cache.fingerprint(shot.pixels)
+                self.device.perf.record(PerfOp.CACHE_PROBE)
+                cached = self._screen_cache.get(key)
+                tracer.annotate(c_span, fingerprint=key.hex()[:16],
+                                hit=cached is not None)
             if cached is not None:
                 self.stats.cache_hits += 1
+                tracer.set_attribute("cache_hit", True)
                 return cached, False
             self.stats.cache_misses += 1
         if self.breaker.allow():
-            try:
-                detections = self.detector.detect_screen(
-                    shot.pixels,
-                    refine=self.config.refine_boxes,
-                    conf_threshold=self.config.conf_threshold,
-                )
-            except Exception:
-                # Any detector exception is a breaker failure; fall
-                # through to the degraded path for THIS screen too.
-                self.stats.detector_failures += 1
-                self._breaker_failure()
-            else:
-                self.device.perf.record(PerfOp.INFERENCE)
-                elapsed = float(
-                    getattr(self.detector, "last_detect_ms", 0.0) or 0.0)
-                if self.config.deadline_ms and elapsed > self.config.deadline_ms:
-                    # Over budget: by the time this inference "finished"
-                    # the screen has likely moved on — abandon it rather
-                    # than decorate a stale frame, and treat the overrun
-                    # as a failure signal for the breaker.
-                    self.stats.deadline_skips += 1
+            with tracer.span(
+                    "inference",
+                    breaker_state=self.breaker.state.value) as i_span:
+                profiler = self._attach_profiler()
+                try:
+                    try:
+                        detections = self.detector.detect_screen(
+                            shot.pixels,
+                            refine=self.config.refine_boxes,
+                            conf_threshold=self.config.conf_threshold,
+                        )
+                    finally:
+                        self._detach_profiler()
+                except Exception:
+                    # Any detector exception is a breaker failure; fall
+                    # through to the degraded path for THIS screen too.
+                    self.stats.detector_failures += 1
                     self._breaker_failure()
-                    return None
-                self.breaker.record_success()
-                if self._screen_cache is not None:
-                    self._screen_cache.put(key, detections)
-                return detections, False
+                    tracer.annotate(i_span, crashed=True)
+                else:
+                    self.device.perf.record(PerfOp.INFERENCE)
+                    elapsed = float(
+                        getattr(self.detector, "last_detect_ms", 0.0) or 0.0)
+                    tracer.annotate(i_span, elapsed_ms=elapsed)
+                    if profiler is not None and profiler.steps:
+                        tracer.annotate(i_span, plan_ops=profiler.attribute(
+                            self.device.perf.profile.inference_cpu_ms))
+                    if (self.config.deadline_ms
+                            and elapsed > self.config.deadline_ms):
+                        # Over budget: by the time this inference
+                        # "finished" the screen has likely moved on —
+                        # abandon it rather than decorate a stale frame,
+                        # and treat the overrun as a failure signal for
+                        # the breaker.
+                        self.stats.deadline_skips += 1
+                        self._breaker_failure()
+                        tracer.annotate(i_span, deadline_exceeded=True)
+                        return None
+                    self.breaker.record_success()
+                    if self._screen_cache is not None:
+                        self._screen_cache.put(key, detections)
+                    return detections, False
+        else:
+            tracer.set_attribute("breaker_open", True)
         # Breaker open (or the inference just crashed): degrade to the
         # metadata heuristic.  Degraded results are never cached — the
         # cache must not replay heuristic verdicts after recovery.
         if self._fallback is not None:
-            detections = self._fallback.detect_screen(
-                shot.pixels,
-                refine=self.config.refine_boxes,
-                conf_threshold=self.config.conf_threshold,
-            )
-            self.device.perf.record(PerfOp.FALLBACK_INFERENCE)
-            self.stats.fallback_detections += 1
+            with tracer.span("fallback") as f_span:
+                detections = self._fallback.detect_screen(
+                    shot.pixels,
+                    refine=self.config.refine_boxes,
+                    conf_threshold=self.config.conf_threshold,
+                )
+                self.device.perf.record(PerfOp.FALLBACK_INFERENCE)
+                self.stats.fallback_detections += 1
+                tracer.annotate(f_span,
+                                nodes=self._fallback.last_node_count,
+                                detections=len(detections))
             return detections, True
         return (), True
+
+    # -- plan profiling -------------------------------------------------
+
+    def _attach_profiler(self) -> Optional[PlanProfiler]:
+        """Hook the detector's compiled :class:`InferencePlan` for one
+        traced inference; returns the profiler, or None when tracing is
+        off or the detector exposes no plan (e.g. test fakes, oracles,
+        the metadata heuristic)."""
+        if not self.tracer.enabled:
+            return None
+        plan = _find_inference_plan(self.detector)
+        if plan is None:
+            return None
+        if self._plan_profiler is None:
+            self._plan_profiler = PlanProfiler()
+        plan.profiler = self._plan_profiler
+        self._traced_plan = plan
+        return self._plan_profiler
+
+    def _detach_profiler(self) -> None:
+        if self._traced_plan is not None:
+            self._traced_plan.profiler = None
+            self._traced_plan = None
 
     def _breaker_failure(self) -> None:
         if self.breaker.record_failure():

@@ -138,6 +138,13 @@ class InferencePlan:
     def __init__(self, layers: Sequence[Layer], fold_bn: bool = True):
         self.layers: List[Layer] = (fold_batchnorm(layers) if fold_bn
                                     else list(layers))
+        #: Optional :class:`repro.core.observability.PlanProfiler` (or
+        #: anything with ``start_forward(batch)`` / ``record_step(label,
+        #: macs)``).  When attached, every forward reports its per-step
+        #: multiply-accumulate counts so the tracing layer can attribute
+        #: the flat inference charge across the executed graph.  None
+        #: (the default) costs one predicate per forward.
+        self.profiler = None
         self._steps = self._compile(self.layers)
         # Per-(step, input-shape) scratch buffers, all NHWC.
         self._pads: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
@@ -178,6 +185,9 @@ class InferencePlan:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the stack over an (N, C, H, W) batch; returns NCHW."""
+        prof = self.profiler
+        if prof is not None:
+            prof.start_forward(batch=x.shape[0])
         h = np.ascontiguousarray(x.transpose(0, 2, 3, 1), dtype=np.float32)
         for step in self._steps:
             if isinstance(step, _ConvStep):
@@ -186,6 +196,9 @@ class InferencePlan:
                 nchw = np.ascontiguousarray(h.transpose(0, 3, 1, 2))
                 nchw = step.layer.forward(nchw, training=False)
                 h = np.ascontiguousarray(nchw.transpose(0, 2, 3, 1))
+                if prof is not None:
+                    prof.record_step(type(step.layer).__name__.lower(),
+                                     int(h.size))
         return np.ascontiguousarray(h.transpose(0, 3, 1, 2))
 
     __call__ = forward
@@ -209,6 +222,10 @@ class InferencePlan:
         oh = (h + 2 * p - k) // s + 1
         ow = (w + 2 * p - k) // s + 1
         oc = step.wt.shape[1]
+        if self.profiler is not None:
+            # MACs of the (pre-pool) GEMM — the step's true arithmetic.
+            self.profiler.record_step(f"conv{step.idx}",
+                                      n * oh * ow * k * k * c * oc)
         key = (step.idx, x.shape)
         if k == 1 and s == 1 and p == 0:
             cols = x.reshape(n * h * w, c)  # 1x1 conv: patches are rows

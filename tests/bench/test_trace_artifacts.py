@@ -1,0 +1,86 @@
+"""Shard-merge determinism for the fleet runner's trace artifacts.
+
+The contract: with ``trace_dir`` set, the parallel runner writes one
+``shard-<first-index>.{trace,metrics}.jsonl`` part per shard and merges
+them into ``trace.jsonl`` + ``metrics.jsonl`` ordered by global session
+index — and the merged bytes are identical for ANY worker or shard
+count, including the inline single-worker path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import build_runtime_fleet, run_darpa_over_fleet_parallel
+
+N_APPS = 8
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    return build_runtime_fleet(n_apps=N_APPS, seed=3, duration_ms=20_000.0)
+
+
+def run_traced(sessions, tmp_path, n_workers, n_shards=None):
+    trace_dir = str(tmp_path / f"w{n_workers}-s{n_shards}")
+    results = run_darpa_over_fleet_parallel(
+        sessions, "oracle", ct_ms=200.0, mode="full",
+        n_workers=n_workers, n_shards=n_shards, trace_dir=trace_dir)
+    return results, trace_dir
+
+
+def read_artifacts(trace_dir):
+    with open(os.path.join(trace_dir, "trace.jsonl"), "rb") as fp:
+        trace = fp.read()
+    with open(os.path.join(trace_dir, "metrics.jsonl"), "rb") as fp:
+        metrics = fp.read()
+    return trace, metrics
+
+
+class TestTraceArtifactMerge:
+    def test_merged_bytes_identical_across_worker_counts(self, sessions,
+                                                         tmp_path):
+        artifacts = {}
+        for n_workers in (1, 2, 7):
+            _, trace_dir = run_traced(sessions, tmp_path, n_workers)
+            artifacts[n_workers] = read_artifacts(trace_dir)
+        assert artifacts[1] == artifacts[2] == artifacts[7]
+
+    def test_merged_bytes_identical_across_shard_counts(self, sessions,
+                                                        tmp_path):
+        baseline = None
+        for n_shards in (1, 3, 8):
+            _, trace_dir = run_traced(sessions, tmp_path, 2, n_shards)
+            got = read_artifacts(trace_dir)
+            baseline = baseline or got
+            assert got == baseline, f"n_shards={n_shards} changed the bytes"
+
+    def test_shard_parts_are_cleaned_up(self, sessions, tmp_path):
+        _, trace_dir = run_traced(sessions, tmp_path, 3)
+        assert sorted(os.listdir(trace_dir)) == ["metrics.jsonl",
+                                                 "trace.jsonl"]
+
+    def test_lines_ordered_by_global_session_index(self, sessions, tmp_path):
+        _, trace_dir = run_traced(sessions, tmp_path, 2)
+        with open(os.path.join(trace_dir, "trace.jsonl")) as fp:
+            indices = [json.loads(line)["session"] for line in fp]
+        assert indices == sorted(indices)
+        assert set(indices) == set(range(N_APPS))
+        with open(os.path.join(trace_dir, "metrics.jsonl")) as fp:
+            sessions_seen = [json.loads(line)["session"] for line in fp]
+        assert sessions_seen == list(range(N_APPS))
+
+    def test_lines_match_in_memory_spans(self, sessions, tmp_path):
+        results, trace_dir = run_traced(sessions, tmp_path, 2)
+        by_session = {}
+        with open(os.path.join(trace_dir, "trace.jsonl")) as fp:
+            for line in fp:
+                record = json.loads(line)
+                by_session.setdefault(record.pop("session"), []).append(record)
+        for index, result in enumerate(results):
+            assert by_session[index] == result.spans
+
+    def test_trace_dir_implies_tracing(self, sessions, tmp_path):
+        results, _ = run_traced(sessions, tmp_path, 1)
+        assert all(r.spans is not None for r in results)

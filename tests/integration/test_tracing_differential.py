@@ -1,0 +1,140 @@
+"""Differential tests: tracing is bit-inert, and span-derived timings
+reproduce the legacy measurement path exactly.
+
+Two claims, each over seeded sessions:
+
+1. **Span fidelity** — for every traced session, the
+   :class:`~repro.android.device.PerfReport` rebuilt purely from the
+   exported spans is bit-identical to the one the device meter measured
+   (the Table VII/VIII path), and the span-derived workload counters
+   match the legacy stats.
+2. **Bit-inertness** — running the identical seeded session with
+   tracing on vs off leaves every measured output unchanged:
+   PerfReport, screen verdicts, analysis records, and the decoration
+   overlay geometry on screen.
+"""
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.android.device import PerfOp
+from repro.bench.experiments import (
+    build_runtime_fleet,
+    run_darpa_over_fleet,
+    run_darpa_session,
+)
+from repro.core import ScreenshotPolicy
+from repro.core.observability import (
+    Tracer,
+    ops_from_spans,
+    report_from_spans,
+    session_root,
+    stage_cpu_ms,
+)
+from repro.core.pipeline import DarpaService
+
+from tests.core.test_pipeline import make_session
+
+N_SESSIONS = 50
+DURATION_MS = 60_000.0
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_runtime_fleet(n_apps=N_SESSIONS, seed=0)
+
+
+class TestSpanFidelity:
+    def test_span_reports_bit_identical_over_50_sessions(self, fleet):
+        results = run_darpa_over_fleet(fleet, "oracle", ct_ms=200.0,
+                                       mode="full", trace=True)
+        assert len(results) == N_SESSIONS
+        for r in results:
+            rebuilt = report_from_spans(r.spans, duration_ms=DURATION_MS)
+            assert rebuilt == r.perf, \
+                f"span-derived report diverged for {r.package}"
+            # Default duration comes from the root span and agrees too.
+            assert report_from_spans(r.spans) == r.perf
+            root = session_root(r.spans)
+            assert root["end_ms"] - root["start_ms"] == DURATION_MS
+
+    def test_span_workload_counters_match_legacy(self, fleet):
+        results = run_darpa_over_fleet(fleet, "oracle", ct_ms=200.0,
+                                       mode="full", trace=True)
+        for r in results:
+            ops = ops_from_spans(r.spans)
+            assert ops.get(PerfOp.EVENT_DELIVERED.value, 0) == r.events_total
+            analyzed = sum(
+                1 for s in r.spans
+                if s["name"] == "analyze"
+                and s["attributes"].get("outcome") == "ok")
+            assert analyzed == r.screens_analyzed
+            # Stage CPU decomposes the total: summing every stage equals
+            # the report's arithmetic input by construction.
+            assert set(stage_cpu_ms(r.spans)) == {s["name"] for s in r.spans}
+
+    @pytest.mark.parametrize("mode", ["baseline", "monitor", "detect"])
+    def test_other_modes_also_rebuild_exactly(self, fleet, mode):
+        for i, session in enumerate(fleet[:5]):
+            r = run_darpa_session(session, "oracle", ct_ms=200.0, mode=mode,
+                                  monkey_seed=1000 + i, trace=True)
+            assert report_from_spans(r.spans, duration_ms=DURATION_MS) == r.perf
+
+
+class TestTracingBitInert:
+    def test_traced_and_untraced_sessions_identical(self, fleet):
+        for i, session in enumerate(fleet[:10]):
+            on = run_darpa_session(session, "oracle", ct_ms=200.0,
+                                   mode="full", monkey_seed=1000 + i,
+                                   trace=True)
+            off = run_darpa_session(session, "oracle", ct_ms=200.0,
+                                    mode="full", monkey_seed=1000 + i,
+                                    trace=False)
+            assert on.perf == off.perf
+            assert on.screen_verdicts == off.screen_verdicts
+            assert on.auis_flagged == off.auis_flagged
+            assert on.resilience == off.resilience
+            assert off.spans is None and off.metrics == {}
+
+    def _overlay_geometry(self, trace: bool) -> List[Tuple]:
+        device, app, detector, service = make_session()
+        if trace:
+            service = DarpaService(
+                device, detector, config=service.config,
+                policy=ScreenshotPolicy(consent_given=True),
+                tracer=Tracer(device.clock))
+        service.start()
+        app.launch()
+        device.clock.advance(2000)  # the AUI screen is decorated now
+        geometry = []
+        for window in device.window_manager.windows:
+            for view in window.root.iter_tree():
+                rect = view.bounds
+                geometry.append((window.package, window.kind.name,
+                                 window.offset.x, window.offset.y,
+                                 rect.x, rect.y, rect.w, rect.h))
+        return geometry
+
+    def test_overlay_geometry_bit_identical(self):
+        assert self._overlay_geometry(trace=False) == \
+            self._overlay_geometry(trace=True)
+
+    def test_detections_bit_identical(self):
+        records = []
+        for trace in (False, True):
+            device, app, detector, service = make_session()
+            if trace:
+                service = DarpaService(
+                    device, detector, config=service.config,
+                    policy=ScreenshotPolicy(consent_given=True),
+                    tracer=Tracer(device.clock))
+            service.start()
+            app.launch()
+            device.clock.advance(6000)
+            records.append([
+                (r.timestamp_ms, r.package, r.degraded,
+                 [(d.label, d.score, d.rect.x, d.rect.y, d.rect.w, d.rect.h)
+                  for d in r.detections])
+                for r in service.stats.records])
+        assert records[0] == records[1]

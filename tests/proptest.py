@@ -1,0 +1,402 @@
+"""Property-based harness for the DARPA serving path.
+
+Hand-rolled (no new dependencies) and fully seeded: each case draws a
+random view-tree pool, UI timeline, fault plan, and service config from
+``numpy``'s ``default_rng``, replays the session through a traced
+:class:`~repro.core.pipeline.DarpaService`, and checks structural
+invariants of the observability layer that must hold for EVERY input:
+
+- every span is closed, no charge was orphaned, none were dropped;
+- children nest inside their parents in both identity and time;
+- stage histograms agree with stage counters and with the per-span
+  attributed CPU;
+- the span-derived :class:`~repro.android.device.PerfReport` is
+  bit-identical to the device meter's;
+- a cache hit never charges an inference (or runs the fallback);
+- an open breaker never runs the CNN — fallback inference only;
+- the ``darpa.pipeline.*`` counters match what the spans recorded.
+
+Two case indices are pinned rather than random so the matrix is
+non-vacuous under ANY seed base: case 0 is a chaos run (screenshot
+failures, detector crashes, latency spikes past the deadline, a
+hair-trigger breaker) and case 1 is a cache-friendly zero-fault run
+(two screens reused across the whole timeline).
+
+Run a different matrix with ``DARPA_PROPTEST_SEED_BASE=<n> pytest
+tests/proptest.py`` — CI exercises a second base to widen coverage.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+import numpy as np
+import pytest
+
+from repro.android import (
+    AppSpec,
+    SemanticRole,
+    SimulatedApp,
+    UiStep,
+    UiTimeline,
+    View,
+)
+from repro.android.apps import ScreenState
+from repro.android.device import PerfOp
+from repro.android.faults import FaultPlan, FaultyDetector, FaultyDevice
+from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
+from repro.core.observability import (
+    Tracer,
+    ops_from_spans,
+    report_from_spans,
+    session_root,
+    stage_cpu_ms,
+)
+from repro.geometry import Rect
+from repro.imaging.color import PALETTE
+
+from tests.core.test_pipeline import OracleDetector
+
+SEED_BASE = int(os.environ.get("DARPA_PROPTEST_SEED_BASE", "0"))
+N_CASES = 8
+CASES = list(range(N_CASES))
+
+WINDOW_W, WINDOW_H = 360, 568
+
+#: Case 0: chaos.  Spikes (100 + 400 ms) blow the 150 ms deadline, the
+#: two-strike breaker opens early, and captures fail 30% of the time.
+CHAOS_PLAN = dict(
+    screenshot_failure_rate=0.3,
+    overlay_rejection_rate=0.25,
+    detector_failure_rate=0.35,
+    detector_spike_rate=0.35,
+    detector_spike_ms=400.0,
+    detector_base_ms=100.0,
+)
+CHAOS_CONFIG = dict(
+    ct_ms=100.0,
+    screen_cache_size=0,
+    retry_max_attempts=2,
+    breaker_failure_threshold=2,
+    breaker_cooldown_ms=1500.0,
+    deadline_ms=150.0,
+    fallback_to_heuristic=True,
+)
+
+#: Case 1: cache-friendly.  No faults, two screens reused all session.
+CACHE_CONFIG = dict(ct_ms=100.0, screen_cache_size=64,
+                    fallback_to_heuristic=True)
+
+
+# ---------------------------------------------------------------------------
+# Random session generation
+# ---------------------------------------------------------------------------
+
+def _random_rect(rng: np.random.Generator) -> Rect:
+    x = int(rng.integers(0, WINDOW_W - 40))
+    y = int(rng.integers(0, WINDOW_H - 40))
+    w = int(rng.integers(20, min(WINDOW_W - x, 220)))
+    h = int(rng.integers(20, min(WINDOW_H - y, 160)))
+    return Rect(x, y, w, h)
+
+
+def _random_color(rng: np.random.Generator):
+    names = sorted(PALETTE)
+    return PALETTE[names[int(rng.integers(0, len(names)))]]
+
+
+def _random_screen(rng: np.random.Generator, index: int,
+                   force_aui: bool = False) -> ScreenState:
+    root = View(bounds=Rect(0, 0, WINDOW_W, WINDOW_H),
+                bg_color=_random_color(rng))
+    for _ in range(int(rng.integers(1, 5))):
+        root.add_child(View(bounds=_random_rect(rng),
+                            bg_color=_random_color(rng),
+                            clickable=bool(rng.random() < 0.3)))
+    if force_aui or rng.random() < 0.45:
+        ago = root.add_child(View(
+            bounds=Rect(int(rng.integers(40, 140)),
+                        int(rng.integers(180, 340)),
+                        int(rng.integers(120, 220)),
+                        int(rng.integers(40, 80))),
+            clickable=True, role=SemanticRole.AGO, bg_color=PALETTE["red"]))
+        labels = [("AGO", ago.bounds)]
+        if rng.random() < 0.7:
+            upo = root.add_child(View(bounds=Rect(320, 16, 24, 24),
+                                      clickable=True, role=SemanticRole.UPO))
+            labels.append(("UPO", upo.bounds))
+        return ScreenState(root=root, is_aui=True, name=f"aui-{index}",
+                           label_boxes=labels)
+    return ScreenState(root=root, name=f"plain-{index}")
+
+
+def _random_timeline(rng: np.random.Generator,
+                     pool: List[ScreenState]) -> UiTimeline:
+    steps, t = [], 0.0
+    for _ in range(int(rng.integers(6, 13))):
+        screen = pool[int(rng.integers(0, len(pool)))]
+        steps.append(UiStep(t, screen,
+                            minor_updates=int(rng.integers(0, 4)),
+                            minor_spacing_ms=float(rng.integers(30, 90))))
+        t += float(rng.integers(400, 1500))
+    return UiTimeline(steps)
+
+
+def _random_plan(rng: np.random.Generator, seed: int) -> FaultPlan:
+    def rate(p_zero: float, hi: float) -> float:
+        return 0.0 if rng.random() < p_zero else float(rng.uniform(0.05, hi))
+
+    return FaultPlan(
+        seed=seed * 31 + 7,
+        screenshot_failure_rate=rate(0.5, 0.3),
+        event_drop_rate=rate(0.7, 0.15),
+        event_duplicate_rate=rate(0.7, 0.2),
+        event_storm_rate=rate(0.8, 0.1),
+        overlay_rejection_rate=rate(0.6, 0.3),
+        detector_failure_rate=rate(0.5, 0.35),
+        detector_spike_rate=rate(0.6, 0.4),
+        detector_spike_ms=float(rng.integers(200, 600)),
+        detector_base_ms=float(rng.integers(40, 160)),
+    )
+
+
+def _random_config(rng: np.random.Generator) -> Dict:
+    return dict(
+        ct_ms=float(rng.choice([50.0, 100.0, 200.0, 300.0])),
+        screen_cache_size=int(rng.choice([0, 8, 64])),
+        retry_max_attempts=int(rng.integers(1, 4)),
+        breaker_failure_threshold=int(rng.integers(1, 4)),
+        breaker_cooldown_ms=float(rng.choice([1000.0, 3000.0, 6000.0])),
+        deadline_ms=float(rng.choice([0.0, 120.0, 450.0])),
+        fallback_to_heuristic=bool(rng.random() < 0.8),
+        auto_bypass=bool(rng.random() < 0.2),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case runner (one replay per case, cached for all invariant tests)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Case:
+    seed: int
+    config: DarpaConfig
+    plan: FaultPlan
+    device: FaultyDevice
+    service: DarpaService
+    tracer: Tracer
+    spans: List[Dict]
+    duration_ms: float
+
+
+_CASE_CACHE: Dict[int, Case] = {}
+
+
+def _run_case(index: int) -> Case:
+    seed = SEED_BASE + index
+    rng = np.random.default_rng(seed)
+    pool = [_random_screen(rng, 0, force_aui=True)]
+    pool += [_random_screen(rng, i) for i in range(1, int(rng.integers(2, 6)))]
+    if index == 0:
+        plan = FaultPlan(seed=seed * 31 + 7, **CHAOS_PLAN)
+        config = DarpaConfig(**CHAOS_CONFIG)
+    elif index == 1:
+        pool = pool[:2]
+        plan = FaultPlan(seed=seed * 31 + 7)
+        config = DarpaConfig(**CACHE_CONFIG)
+    else:
+        plan = _random_plan(rng, seed)
+        config = DarpaConfig(**_random_config(rng))
+    timeline = _random_timeline(rng, pool)
+
+    device = FaultyDevice(plan=plan, seed=seed)
+    tracer = Tracer(device.clock, trace_id=f"proptest-{seed}")
+    tracer.observe_perf(device.perf)
+    app = SimulatedApp(device, AppSpec(package=f"com.prop.case{index}",
+                                       timeline=timeline))
+    detector = OracleDetector(device, app)
+    if not plan.is_null:
+        detector = FaultyDetector(detector, device.faults)
+    service = DarpaService(device, detector, config=config,
+                           policy=ScreenshotPolicy(consent_given=True),
+                           tracer=tracer)
+    service.start()
+    root = tracer.start_span("session", package=app.spec.package, case=index)
+    app.launch()
+    duration_ms = timeline.duration_ms + 3000.0
+    device.clock.advance(duration_ms)
+    app.finish()
+    tracer.end_span(root, components=sorted(tracer.components),
+                    duration_ms=duration_ms)
+    return Case(seed=seed, config=config, plan=plan, device=device,
+                service=service, tracer=tracer, spans=tracer.export(),
+                duration_ms=duration_ms)
+
+
+@pytest.fixture(params=CASES, ids=lambda i: f"case{i}-seed{SEED_BASE + i}")
+def case(request) -> Case:
+    index = request.param
+    if index not in _CASE_CACHE:
+        _CASE_CACHE[index] = _run_case(index)
+    return _CASE_CACHE[index]
+
+
+def _subtree(spans: List[Dict], root_id: int) -> List[Dict]:
+    """All spans in the subtree rooted at ``root_id`` (root excluded)."""
+    children: Dict[int, List[Dict]] = {}
+    for span in spans:
+        if span["parent_id"] is not None:
+            children.setdefault(span["parent_id"], []).append(span)
+    out, stack = [], [root_id]
+    while stack:
+        for child in children.get(stack.pop(), []):
+            out.append(child)
+            stack.append(child["span_id"])
+    return out
+
+
+def _analyze_spans(spans: List[Dict]) -> List[Dict]:
+    return [s for s in spans if s["name"] == "analyze"]
+
+
+# ---------------------------------------------------------------------------
+# Structural invariants
+# ---------------------------------------------------------------------------
+
+class TestSpanStructure:
+    def test_every_span_closed_nothing_orphaned(self, case):
+        assert case.tracer.open_spans == []
+        assert case.tracer.orphan_ops == {}
+        assert case.tracer.dropped == 0
+        for span in case.spans:
+            assert span["end_ms"] is not None, f"{span['name']} never closed"
+            assert span["end_ms"] >= span["start_ms"]
+
+    def test_parents_contain_children(self, case):
+        by_id = {s["span_id"]: s for s in case.spans}
+        for span in case.spans:
+            parent_id = span["parent_id"]
+            if parent_id is None:
+                continue
+            parent = by_id[parent_id]
+            assert parent["start_ms"] <= span["start_ms"]
+            assert span["end_ms"] <= parent["end_ms"]
+
+    def test_single_session_root(self, case):
+        root = session_root(case.spans)
+        assert root["attributes"]["case"] in CASES
+        assert root["end_ms"] - root["start_ms"] == case.duration_ms
+
+    def test_span_names_are_known_stages(self, case):
+        known = {"session", "event", "debounce", "analyze", "screenshot",
+                 "cache_probe", "inference", "fallback", "decorate"}
+        assert {s["name"] for s in case.spans} <= known
+
+
+class TestMetricCoherence:
+    def test_histogram_counts_match_stage_counters(self, case):
+        snap = case.tracer.registry.snapshot()
+        for name, hist in snap["histograms"].items():
+            if not name.startswith("darpa.stage."):
+                continue
+            stage = name[len("darpa.stage."):-len(".cpu_ms")]
+            assert hist["count"] == \
+                snap["counters"][f"darpa.stage.{stage}.count"]
+
+    def test_histogram_sums_match_span_cpu(self, case):
+        snap = case.tracer.registry.snapshot()
+        per_stage = stage_cpu_ms(case.spans,
+                                 profile=case.device.perf.profile)
+        for stage, cpu in per_stage.items():
+            assert snap["histograms"][f"darpa.stage.{stage}.cpu_ms"]["sum"] \
+                == cpu
+
+    def test_pipeline_counters_match_spans(self, case):
+        spans, stats = case.spans, case.service.stats
+        analyze = _analyze_spans(spans)
+        outcome = lambda s: s["attributes"].get("outcome")  # noqa: E731
+        assert stats.screens_analyzed == \
+            sum(1 for s in analyze if outcome(s) == "ok")
+        assert stats.screenshot_failures == \
+            sum(1 for s in analyze if outcome(s) == "screenshot_failed")
+        assert stats.deadline_skips == \
+            sum(1 for s in analyze if outcome(s) == "deadline_abandoned")
+        assert stats.cache_hits == sum(
+            1 for s in spans if s["name"] == "cache_probe"
+            and s["attributes"]["hit"])
+        assert stats.fallback_detections == \
+            sum(1 for s in spans if s["name"] == "fallback")
+        assert stats.detector_failures == sum(
+            1 for s in spans if s["name"] == "inference"
+            and s["attributes"].get("crashed"))
+
+    def test_inference_charges_match_surviving_inferences(self, case):
+        ops = ops_from_spans(case.spans)
+        survived = sum(1 for s in case.spans if s["name"] == "inference"
+                       and not s["attributes"].get("crashed"))
+        assert ops.get(PerfOp.INFERENCE.value, 0) == survived
+        assert ops.get(PerfOp.FALLBACK_INFERENCE.value, 0) == \
+            case.service.stats.fallback_detections
+
+
+class TestPerfFidelity:
+    def test_span_report_bit_identical_to_meter(self, case):
+        rebuilt = report_from_spans(case.spans,
+                                    duration_ms=case.duration_ms)
+        assert rebuilt == case.device.perf.report(case.duration_ms)
+
+    def test_op_totals_match_meter_counts(self, case):
+        assert ops_from_spans(case.spans) == {
+            op: n for op, n in case.device.perf.counts().items() if n}
+
+
+class TestPipelineExclusions:
+    def test_cache_hit_charges_no_inference(self, case):
+        for span in _analyze_spans(case.spans):
+            if not span["attributes"].get("cache_hit"):
+                continue
+            subtree = _subtree(case.spans, span["span_id"])
+            names = {s["name"] for s in subtree}
+            assert "inference" not in names and "fallback" not in names
+            charged: Set[str] = set(span["ops"])
+            for child in subtree:
+                charged |= set(child["ops"])
+            assert PerfOp.INFERENCE.value not in charged
+            assert PerfOp.FALLBACK_INFERENCE.value not in charged
+
+    def test_breaker_open_means_fallback_only(self, case):
+        for span in _analyze_spans(case.spans):
+            if not span["attributes"].get("breaker_open"):
+                continue
+            subtree = _subtree(case.spans, span["span_id"])
+            assert all(s["name"] != "inference" for s in subtree)
+            charged: Set[str] = set(span["ops"])
+            for child in subtree:
+                charged |= set(child["ops"])
+            assert PerfOp.INFERENCE.value not in charged
+            if case.config.fallback_to_heuristic and \
+                    span["attributes"].get("outcome") == "ok":
+                assert any(s["name"] == "fallback" for s in subtree)
+
+
+# ---------------------------------------------------------------------------
+# Non-vacuousness: the matrix must actually exercise the paths the
+# invariants constrain, whatever seed base is in effect.
+# ---------------------------------------------------------------------------
+
+def test_matrix_exercises_the_interesting_paths():
+    cases = [_CASE_CACHE.setdefault(i, _run_case(i)) for i in CASES]
+    totals = {
+        "cache_hits": sum(c.service.stats.cache_hits for c in cases),
+        "screenshot_failures": sum(c.service.stats.screenshot_failures
+                                   for c in cases),
+        "detector_failures": sum(c.service.stats.detector_failures
+                                 for c in cases),
+        "deadline_skips": sum(c.service.stats.deadline_skips for c in cases),
+        "fallbacks": sum(c.service.stats.fallback_detections for c in cases),
+        "breaker_opens": sum(c.service.stats.breaker_opens for c in cases),
+        "decorations": sum(c.service.stats.decorations_drawn for c in cases),
+        "analyzed": sum(c.service.stats.screens_analyzed for c in cases),
+    }
+    vacuous = [name for name, total in totals.items() if total == 0]
+    assert not vacuous, f"matrix never exercised: {vacuous} ({totals})"
