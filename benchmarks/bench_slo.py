@@ -1,0 +1,144 @@
+"""SLO benchmark — fleet telemetry, burn-rate alerting, merge parity.
+
+Not a paper table: this exercises the fleet telemetry layer
+(:mod:`repro.core.telemetry`) end-to-end.  A seeded fleet is run
+zero-fault and under the storm fault plan; per-session latency
+sketches and pipeline counters are merged fleet-wide and evaluated
+against the stock SLOs (:func:`repro.core.telemetry.default_slos`).
+
+Three hard guarantees are asserted:
+
+- **merge parity**: the sequential run's ``telemetry.json`` /
+  ``telemetry.prom`` artifacts are byte-identical to the sharded
+  parallel run's — the sketch algebra is associative and integral, so
+  no merge order can perturb a quantile;
+- **quiet at zero faults**: every stock SLO is met and the burn-rate
+  engine emits zero alerts on the fault-free fleet;
+- **loud under storm**: the storm plan pushes every objective over
+  budget and at least one multi-window burn alert fires.
+
+Results land in ``BENCH_slo.json`` at the repo root (override the
+directory with ``DARPA_BENCH_OUT`` — the CI regression gate uses that
+to diff a fresh payload against the committed baseline).  Fleet size
+is small by default (CI smoke); override with ``DARPA_SLO_APPS``.
+"""
+
+import filecmp
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.bench import (
+    STORM_DARPA_KWARGS,
+    build_runtime_fleet,
+    print_table,
+    run_darpa_over_fleet,
+    run_darpa_over_fleet_parallel,
+    storm_fault_plan,
+)
+from repro.core.telemetry import (
+    FleetTelemetry,
+    SloEngine,
+    TELEMETRY_VERSION,
+    default_slos,
+    session_telemetries,
+)
+
+N_APPS = int(os.environ.get("DARPA_SLO_APPS", "10"))
+CT_MS = 200.0
+OUT_DIR = Path(os.environ.get(
+    "DARPA_BENCH_OUT", str(Path(__file__).resolve().parents[1])))
+OUT_PATH = OUT_DIR / "BENCH_slo.json"
+
+PLANS = [
+    ("no faults", None, None),
+    ("storm", storm_fault_plan(), STORM_DARPA_KWARGS),
+]
+
+
+def run_plan(sessions, plan, kwargs):
+    """One fleet pass, sequential and sharded; returns the report plus
+    the artifact-parity verdict."""
+    with tempfile.TemporaryDirectory() as seq_dir, \
+            tempfile.TemporaryDirectory() as par_dir:
+        seq_results = run_darpa_over_fleet_parallel(
+            sessions, "oracle", ct_ms=CT_MS, mode="full",
+            fault_plan=plan, darpa_kwargs=kwargs,
+            n_workers=1, trace_dir=seq_dir)
+        run_darpa_over_fleet_parallel(
+            sessions, "oracle", ct_ms=CT_MS, mode="full",
+            fault_plan=plan, darpa_kwargs=kwargs,
+            n_workers=2, n_shards=4, trace_dir=par_dir)
+        parity = all(
+            filecmp.cmp(os.path.join(seq_dir, name),
+                        os.path.join(par_dir, name), shallow=False)
+            for name in ("telemetry.json", "telemetry.prom"))
+        with open(os.path.join(seq_dir, "telemetry.json")) as fp:
+            fleet = FleetTelemetry.from_snapshot(json.load(fp))
+    series = session_telemetries(seq_results)
+    report = SloEngine(default_slos(ct_ms=CT_MS)).evaluate(series)
+    return fleet, report, parity
+
+
+def summarize(name, fleet, report, parity):
+    return {
+        "plan": name,
+        "sessions": fleet.sessions,
+        "sequential_equals_sharded": parity,
+        "quantiles": fleet.quantiles(),
+        "sketch_counts": {name: fleet.sketches[name].count
+                          for name in sorted(fleet.sketches)},
+        "counters": dict(sorted(fleet.counters.items())),
+        "slos": [r.to_dict() for r in report.results],
+        "all_met": report.all_met,
+        "alerts_total": len(report.alerts),
+    }
+
+
+def test_slo_fleet(benchmark):
+    sessions = build_runtime_fleet(n_apps=N_APPS, seed=0)
+
+    def run():
+        rows = []
+        for name, plan, kwargs in PLANS:
+            fleet, report, parity = run_plan(sessions, plan, kwargs)
+            rows.append(summarize(name, fleet, report, parity))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        ["Plan", "SLO", "Objective", "Compliance", "Burn", "Met", "Alerts"],
+        [[row["plan"] if i == 0 else "", s["slo"], f"{s['objective']:.3f}",
+          f"{s['compliance']:.4f}", f"{s['burn_rate']:.2f}",
+          "yes" if s["met"] else "NO", len(s["alerts"])]
+         for row in rows for i, s in enumerate(row["slos"])],
+        title=f"Fleet SLOs ({N_APPS} apps, ct={CT_MS:.0f}ms)",
+    )
+
+    quiet, storm = rows
+    # Merge parity: sharded artifacts byte-identical to sequential.
+    assert quiet["sequential_equals_sharded"]
+    assert storm["sequential_equals_sharded"]
+    # Quiet at zero faults: every SLO met, no burn-rate alerts.
+    assert quiet["all_met"], "zero-fault fleet violated an SLO"
+    assert quiet["alerts_total"] == 0
+    # Loud under storm: objectives blown, alerts fired.
+    assert not storm["all_met"], "storm plan left every SLO met"
+    assert storm["alerts_total"] >= 1
+
+    reaction = quiet["quantiles"]["darpa.latency.reaction_ms"]
+    assert quiet["sketch_counts"]["darpa.latency.reaction_ms"] > 0
+    assert reaction["p50"] <= reaction["p95"] <= reaction["p99"]
+
+    payload = {
+        "benchmark": "slo",
+        "n_apps": N_APPS,
+        "ct_ms": CT_MS,
+        "fleet_seed": 0,
+        "telemetry_version": TELEMETRY_VERSION,
+        "plans": rows,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")

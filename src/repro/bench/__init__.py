@@ -13,6 +13,7 @@ benchmarks and examples call.
 from repro.bench.cache import BenchCache, default_cache
 from repro.bench.tables import format_table, print_table
 from repro.bench.experiments import (
+    STORM_DARPA_KWARGS,
     build_runtime_fleet,
     evaluate_detector,
     get_corpus_and_splits,
@@ -20,6 +21,7 @@ from repro.bench.experiments import (
     get_trained_model,
     run_darpa_over_fleet,
     run_darpa_session,
+    storm_fault_plan,
 )
 from repro.bench.parallel import (
     merge_trace_artifacts,
@@ -31,6 +33,8 @@ __all__ = [
     "default_cache",
     "format_table",
     "print_table",
+    "STORM_DARPA_KWARGS",
+    "storm_fault_plan",
     "build_runtime_fleet",
     "evaluate_detector",
     "get_corpus_and_splits",

@@ -296,6 +296,38 @@ class SessionResult:
     metrics: Dict = field(default_factory=dict)
 
 
+#: DarpaConfig overrides that make the storm plan's detector faults
+#: reachable: a hair-trigger breaker and a watchdog budget the injected
+#: latency spikes overrun.
+STORM_DARPA_KWARGS: Dict[str, float] = {
+    "breaker_failure_threshold": 2,
+    "deadline_ms": 250.0,
+}
+
+
+def storm_fault_plan(seed: int = 0) -> FaultPlan:
+    """The canonical "storm" chaos plan for SLO smoke runs.
+
+    Heavy enough that every default SLO's failure mode is reachable —
+    capture failures and throttling burn the capture/reaction budgets,
+    overlay rejections burn decoration success, detector crashes and
+    latency spikes burn the fallback and watchdog budgets.  Pair with
+    :data:`STORM_DARPA_KWARGS`.  Fully seeded: the same storm replays
+    identically under any worker or shard count.
+    """
+    return FaultPlan(
+        seed=seed,
+        screenshot_failure_rate=0.3,
+        screenshot_min_interval_ms=150.0,
+        event_drop_rate=0.1,
+        event_duplicate_rate=0.1,
+        event_storm_rate=0.05,
+        overlay_rejection_rate=0.25,
+        detector_failure_rate=0.15,
+        detector_spike_rate=0.3,
+    )
+
+
 class _NullDetector:
     """Detector stand-in for the monitoring-only overhead mode."""
 

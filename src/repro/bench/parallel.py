@@ -49,25 +49,44 @@ def _write_session_artifacts(trace_fp, metrics_fp, index: int,
 
 def _write_shard_artifacts(trace_dir: str,
                            results: List[Tuple[int, SessionResult]]) -> None:
-    """Write one shard's trace/metrics part files, named by the shard's
-    first global index (shards are contiguous, so lexicographic part
-    order IS global session order)."""
+    """Write one shard's trace/metrics/telemetry part files, named by
+    the shard's first global index (shards are contiguous, so
+    lexicographic part order IS global session order)."""
+    from repro.core.telemetry import FleetTelemetry, SessionTelemetry
+
     lo = results[0][0]
     trace_path = os.path.join(trace_dir, f"shard-{lo:06d}.trace.jsonl")
     metrics_path = os.path.join(trace_dir, f"shard-{lo:06d}.metrics.jsonl")
     with open(trace_path, "w") as tfp, open(metrics_path, "w") as mfp:
         for index, result in results:
             _write_session_artifacts(tfp, mfp, index, result)
+    # Shard-level telemetry: per-session latency sketches + counters,
+    # merged across the shard.  The parent folds the shard snapshots
+    # together — the sketch algebra makes the fleet-level snapshot
+    # byte-identical for any shard count or merge order.
+    shard = FleetTelemetry()
+    for index, result in results:
+        shard.observe_session(SessionTelemetry.from_result(index, result))
+    telemetry_path = os.path.join(trace_dir, f"shard-{lo:06d}.telemetry.json")
+    with open(telemetry_path, "w") as fp:
+        json.dump(shard.snapshot(), fp, sort_keys=True, indent=2)
+        fp.write("\n")
 
 
 def merge_trace_artifacts(trace_dir: str) -> Tuple[str, str]:
-    """Merge shard part files into ``trace.jsonl`` + ``metrics.jsonl``.
+    """Merge shard part files into the fleet-level artifacts.
 
-    Part files are concatenated in sorted filename order — global
-    session order, since shards are contiguous index ranges named by
-    their first index — then removed.  The merged bytes are identical
-    for any worker/shard count, which the artifact tests assert.
+    ``shard-*.{trace,metrics}.jsonl`` parts are concatenated in sorted
+    filename order — global session order, since shards are contiguous
+    index ranges named by their first index — into ``trace.jsonl`` +
+    ``metrics.jsonl``; ``shard-*.telemetry.json`` parts are folded with
+    :meth:`FleetTelemetry.merge` into ``telemetry.json`` (the versioned
+    snapshot) and ``telemetry.prom`` (Prometheus text exposition).
+    Parts are removed afterwards.  Every merged byte is identical for
+    any worker/shard count, which the artifact tests assert.
     """
+    from repro.core.telemetry import FleetTelemetry
+
     out_paths = []
     for kind in ("trace", "metrics"):
         parts = sorted(
@@ -81,6 +100,21 @@ def merge_trace_artifacts(trace_dir: str) -> Tuple[str, str]:
                     out_fp.write(fp.read())
                 os.remove(part_path)
         out_paths.append(out_path)
+
+    fleet = FleetTelemetry()
+    telemetry_parts = sorted(
+        name for name in os.listdir(trace_dir)
+        if name.startswith("shard-") and name.endswith(".telemetry.json"))
+    for name in telemetry_parts:
+        part_path = os.path.join(trace_dir, name)
+        with open(part_path) as fp:
+            fleet.merge(FleetTelemetry.from_snapshot(json.load(fp)))
+        os.remove(part_path)
+    with open(os.path.join(trace_dir, "telemetry.json"), "w") as fp:
+        json.dump(fleet.snapshot(), fp, sort_keys=True, indent=2)
+        fp.write("\n")
+    with open(os.path.join(trace_dir, "telemetry.prom"), "w") as fp:
+        fp.write(fleet.to_prometheus())
     return out_paths[0], out_paths[1]
 
 
@@ -135,9 +169,11 @@ def run_darpa_over_fleet_parallel(
 
     ``trace=True`` traces every session (results carry spans/metrics).
     ``trace_dir`` (implies tracing) additionally writes per-shard
-    ``shard-<first-index>.{trace,metrics}.jsonl`` part files and merges
-    them into ``trace.jsonl`` + ``metrics.jsonl`` by global session
-    index — byte-identical for any worker/shard count.
+    ``shard-<first-index>.{trace,metrics}.jsonl`` +
+    ``shard-<first-index>.telemetry.json`` part files and merges them
+    into ``trace.jsonl``, ``metrics.jsonl``, ``telemetry.json`` and
+    ``telemetry.prom`` by global session index — byte-identical for
+    any worker/shard count.
     """
     if trace_dir is not None:
         trace = True

@@ -7,7 +7,14 @@ Commands:
 - ``evaluate``  — evaluate a saved detector on the test split
 - ``simulate``  — run DARPA over a simulated app fleet (Table VI style)
 - ``trace``     — trace one session, dump span JSONL + stage summary
+- ``metrics``   — run a traced fleet, emit Prometheus text exposition
+- ``slo``       — evaluate fleet SLOs + burn-rate alerts (CI smoke)
+- ``top``       — terminal latency/health summary of a fleet or trace
+- ``regress``   — gate fresh benchmark output against a baseline
 - ``survey``    — user-study findings (Section III-B)
+
+File-reading commands exit 1 on missing or malformed inputs (with the
+reason on stderr); argparse exits 2 on usage errors, as usual.
 """
 
 from __future__ import annotations
@@ -172,12 +179,182 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"{name:<12} {count:>6} {dur:>10.1f} {cpu.get(name, 0.0):>10.1f}")
     rebuilt = report_from_spans(result.spans)
     assert rebuilt == result.perf, "span-derived report diverged"
+    dropped = result.metrics.get("counters", {}).get(
+        "darpa.trace.dropped_spans", 0)
     print(f"\nsession: {root['end_ms'] - root['start_ms']:.0f} ms, "
-          f"{result.screens_analyzed} screens analyzed")
+          f"{result.screens_analyzed} screens analyzed, "
+          f"{dropped} spans dropped by the ring buffer")
+    if dropped:
+        print("WARNING: the trace is incomplete — raise the tracer "
+              "capacity to keep span-derived totals exact.")
     print(f"span-derived perf (bit-equal to the meter): "
           f"{rebuilt.cpu_pct:.1f}% CPU, {rebuilt.fps:.0f} fps, "
           f"{rebuilt.power_mw:.0f} mW")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Fleet telemetry commands
+# ---------------------------------------------------------------------------
+
+def _run_telemetry_fleet(args: argparse.Namespace):
+    """Run a traced oracle fleet and derive its telemetry.
+
+    Returns ``(results, telemetries, fleet)`` where ``telemetries`` is
+    the per-session series (for the SLO engine) and ``fleet`` the
+    merged :class:`FleetTelemetry`.
+    """
+    from repro.bench import (
+        STORM_DARPA_KWARGS,
+        build_runtime_fleet,
+        storm_fault_plan,
+    )
+    from repro.bench.parallel import run_darpa_over_fleet_parallel
+    from repro.core.telemetry import FleetTelemetry, session_telemetries
+
+    sessions = build_runtime_fleet(n_apps=args.apps, seed=args.seed)
+    fault_plan = storm_fault_plan(seed=args.seed) if args.storm else None
+    darpa_kwargs = STORM_DARPA_KWARGS if args.storm else None
+    label = "storm" if args.storm else "zero-fault"
+    print(f"Replaying {args.apps} one-minute sessions at ct={args.ct}ms "
+          f"({label}, oracle detector)...")
+    results = run_darpa_over_fleet_parallel(
+        sessions, "oracle", ct_ms=args.ct, mode="full",
+        n_workers=args.workers, fault_plan=fault_plan,
+        darpa_kwargs=darpa_kwargs, trace=True)
+    telemetries = session_telemetries(results)
+    return results, telemetries, FleetTelemetry.from_sessions(telemetries)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.core.telemetry import (
+        merge_registry_snapshots,
+        registry_prometheus_lines,
+    )
+
+    results, _, fleet = _run_telemetry_fleet(args)
+    lines = fleet.prometheus_lines()
+    merged = merge_registry_snapshots([r.metrics for r in results])
+    lines += registry_prometheus_lines(merged)
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(text)
+        print(f"Wrote {len(lines)} exposition lines to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.telemetry import SloEngine, default_slos
+
+    _, telemetries, fleet = _run_telemetry_fleet(args)
+    engine = SloEngine(default_slos(ct_ms=args.ct))
+    report = engine.evaluate(telemetries)
+
+    print(f"\n{'SLO':<20} {'objective':>9} {'compliance':>10} "
+          f"{'burn':>8} {'bad/total':>12} {'status':>8}")
+    for res in report.results:
+        print(f"{res.spec.name:<20} {res.spec.objective:>9.3f} "
+              f"{res.compliance:>10.4f} {res.burn_rate:>8.2f} "
+              f"{res.bad:>5}/{res.total:<6} "
+              f"{'OK' if res.met else 'VIOLATED':>8}")
+    if report.alerts:
+        print(f"\n{len(report.alerts)} burn-rate alert(s):")
+        for alert in report.alerts:
+            print(f"  [{alert.severity}] {alert.slo} at session "
+                  f"{alert.session_index} (t={alert.sim_time_ms / 1000:.0f}s): "
+                  f"burn {alert.fast_burn:.1f}x/{alert.slow_burn:.1f}x over "
+                  f"{alert.fast_window}/{alert.slow_window} sessions")
+    else:
+        print("\nno burn-rate alerts")
+    if args.json:
+        with open(args.json, "w") as fp:
+            json.dump(report.to_dict(), fp, sort_keys=True, indent=2)
+            fp.write("\n")
+        print(f"Wrote SLO report to {args.json}")
+    if args.fail_on_alert and report.alerts:
+        return 1
+    return 0
+
+
+def _load_trace_telemetry(path: str):
+    """Fleet telemetry from a span JSONL file (single-session ``repro
+    trace`` output or a merged fleet ``trace.jsonl``)."""
+    import json
+
+    from repro.core.telemetry import FleetTelemetry, sketches_from_spans
+
+    by_session: dict = {}
+    with open(path) as fp:
+        for lineno, line in enumerate(fp, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed JSONL ({exc})")
+            if not isinstance(record, dict) or "name" not in record:
+                raise ValueError(f"{path}:{lineno}: not a span record")
+            session = int(record.pop("session", 0))
+            by_session.setdefault(session, []).append(record)
+    fleet = FleetTelemetry()
+    fleet.sessions = len(by_session)
+    for session in sorted(by_session):
+        for name, sketch in sketches_from_spans(
+                by_session[session], session=session).items():
+            fleet.sketches[name].merge(sketch)
+    return fleet
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        try:
+            fleet = _load_trace_telemetry(args.trace)
+        except OSError as exc:
+            print(f"top: cannot read trace {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"top: {exc}", file=sys.stderr)
+            return 1
+        source = args.trace
+    else:
+        _, _, fleet = _run_telemetry_fleet(args)
+        source = f"{args.apps}-session fleet"
+
+    print(f"\ndarpa top — {source} ({fleet.sessions} session(s))")
+    print(f"{'stage (ms)':<28} {'count':>7} {'p50':>9} {'p95':>9} "
+          f"{'p99':>9} {'max':>9}")
+    for name in sorted(fleet.sketches):
+        sketch = fleet.sketches[name]
+        stage = name.split(".")[-1].replace("_ms", "")
+        top = sketch.max if sketch.max is not None else 0.0
+        print(f"{stage:<28} {sketch.count:>7} {sketch.quantile(0.5):>9.1f} "
+              f"{sketch.quantile(0.95):>9.1f} {sketch.quantile(0.99):>9.1f} "
+              f"{top:>9.1f}")
+    nonzero = {k: v for k, v in sorted(fleet.counters.items()) if v}
+    if nonzero:
+        print("\ncounters: " + "  ".join(f"{k}={v}"
+                                         for k, v in nonzero.items()))
+    from repro.core.telemetry import REACTION_SKETCH
+    exemplar = fleet.sketches[REACTION_SKETCH].hottest_exemplar()
+    if exemplar is not None:
+        print(f"slowest reactions: session {exemplar['session']} "
+              f"span {exemplar['span_id']} ({exemplar['trace_id']})")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.bench.regress import main as regress_main
+
+    argv = ["--baseline", args.baseline, "--fresh", args.fresh]
+    for rule in args.rule or []:
+        argv += ["--rule", rule]
+    return regress_main(argv)
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
@@ -227,6 +404,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="saved model (.npz); omit for the oracle")
     p_trace.add_argument("--output", default="trace.jsonl")
 
+    def add_fleet_options(p):
+        p.add_argument("--apps", type=int, default=8)
+        p.add_argument("--ct", type=float, default=200.0)
+        p.add_argument("--workers", type=int, default=None,
+                       help="fleet worker processes (default: cores)")
+        p.add_argument("--storm", action="store_true",
+                       help="inject the canonical storm fault plan")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a traced fleet, emit Prometheus exposition")
+    add_fleet_options(p_metrics)
+    p_metrics.add_argument("--output", default=None,
+                           help="write the exposition here instead of stdout")
+
+    p_slo = sub.add_parser(
+        "slo", help="evaluate fleet SLOs and burn-rate alerts")
+    add_fleet_options(p_slo)
+    p_slo.add_argument("--json", default=None,
+                       help="also write the SLO report as JSON")
+    p_slo.add_argument("--fail-on-alert", action="store_true",
+                       help="exit 1 when any burn-rate alert fired")
+
+    p_top = sub.add_parser(
+        "top", help="terminal latency/health summary (fleet or trace file)")
+    add_fleet_options(p_top)
+    p_top.add_argument("--trace", default=None,
+                       help="summarize an existing span JSONL instead of "
+                            "running a fleet")
+
+    p_regress = sub.add_parser(
+        "regress", help="gate fresh benchmark output against a baseline")
+    p_regress.add_argument("--baseline", required=True)
+    p_regress.add_argument("--fresh", required=True)
+    p_regress.add_argument("--rule", action="append", default=[],
+                           metavar="PATTERN=rel:F|abs:F")
+
     sub.add_parser("survey", help="user-study findings")
     return parser
 
@@ -237,6 +450,10 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "simulate": _cmd_simulate,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
+    "slo": _cmd_slo,
+    "top": _cmd_top,
+    "regress": _cmd_regress,
     "survey": _cmd_survey,
 }
 

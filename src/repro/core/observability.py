@@ -71,6 +71,11 @@ from repro.android.device import DeviceProfile, PerfMeter, PerfOp, PerfReport
 STAGE_BUCKETS_MS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
 
+#: Counter bumped whenever the tracer ring buffer evicts a finished
+#: span.  Silent drops would corrupt span-derived totals, so the drop
+#: count itself must be observable (and is surfaced by ``repro trace``).
+DROPPED_SPANS_COUNTER = "darpa.trace.dropped_spans"
+
 
 def op_cpu_ms(profile: DeviceProfile) -> Dict[str, float]:
     """CPU-ms charged per unit of each billable operation."""
@@ -322,6 +327,9 @@ class NullTracer:
     def annotate(self, span: Span, **attributes: object) -> None:
         pass
 
+    def attach_registry(self, registry: MetricsRegistry) -> None:
+        pass
+
     def observe_perf(self, meter: PerfMeter) -> None:
         pass
 
@@ -361,6 +369,8 @@ class Tracer:
         self.clock = clock
         self.trace_id = trace_id
         self.registry = registry
+        if registry is not None:
+            registry.counter(DROPPED_SPANS_COUNTER)
         self.capacity = capacity
         self.finished: Deque[Span] = deque(maxlen=capacity)
         #: Finished spans the ring buffer evicted (observability of the
@@ -451,9 +461,17 @@ class Tracer:
         """
         span.attributes.update(attributes)
 
+    def attach_registry(self, registry: MetricsRegistry) -> None:
+        """Adopt ``registry`` and pre-create the drop counter, so a
+        healthy (drop-free) trace still exports the counter at zero."""
+        self.registry = registry
+        registry.counter(DROPPED_SPANS_COUNTER)
+
     def _finish(self, span: Span) -> None:
         if len(self.finished) == self.capacity:
             self.dropped += 1
+            if self.registry is not None:
+                self.registry.counter(DROPPED_SPANS_COUNTER).inc()
         self.finished.append(span)
         if self.registry is not None:
             self.registry.counter(f"darpa.stage.{span.name}.count").inc()

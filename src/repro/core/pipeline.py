@@ -239,7 +239,7 @@ class DarpaService:
         # the DarpaStats counters share one export.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled and self.tracer.registry is None:
-            self.tracer.registry = self.stats.registry
+            self.tracer.attach_registry(self.stats.registry)
         self._plan_profiler: Optional[PlanProfiler] = None
         self._traced_plan = None
         # The fingerprint cache only makes sense over real pixels:

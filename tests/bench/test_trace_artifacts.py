@@ -1,10 +1,11 @@
 """Shard-merge determinism for the fleet runner's trace artifacts.
 
 The contract: with ``trace_dir`` set, the parallel runner writes one
-``shard-<first-index>.{trace,metrics}.jsonl`` part per shard and merges
-them into ``trace.jsonl`` + ``metrics.jsonl`` ordered by global session
-index — and the merged bytes are identical for ANY worker or shard
-count, including the inline single-worker path.
+``shard-<first-index>.{trace,metrics}.jsonl`` (+ ``.telemetry.json``)
+part per shard and merges them into ``trace.jsonl`` + ``metrics.jsonl``
+ordered by global session index, plus the fleet-level ``telemetry.json``
+/ ``telemetry.prom`` — and the merged bytes are identical for ANY
+worker or shard count, including the inline single-worker path.
 """
 
 import json
@@ -13,6 +14,10 @@ import os
 import pytest
 
 from repro.bench import build_runtime_fleet, run_darpa_over_fleet_parallel
+from repro.core.telemetry import FleetTelemetry
+
+MERGED_ARTIFACTS = ("trace.jsonl", "metrics.jsonl", "telemetry.json",
+                    "telemetry.prom")
 
 N_APPS = 8
 
@@ -31,11 +36,11 @@ def run_traced(sessions, tmp_path, n_workers, n_shards=None):
 
 
 def read_artifacts(trace_dir):
-    with open(os.path.join(trace_dir, "trace.jsonl"), "rb") as fp:
-        trace = fp.read()
-    with open(os.path.join(trace_dir, "metrics.jsonl"), "rb") as fp:
-        metrics = fp.read()
-    return trace, metrics
+    out = []
+    for name in MERGED_ARTIFACTS:
+        with open(os.path.join(trace_dir, name), "rb") as fp:
+            out.append(fp.read())
+    return tuple(out)
 
 
 class TestTraceArtifactMerge:
@@ -58,8 +63,17 @@ class TestTraceArtifactMerge:
 
     def test_shard_parts_are_cleaned_up(self, sessions, tmp_path):
         _, trace_dir = run_traced(sessions, tmp_path, 3)
-        assert sorted(os.listdir(trace_dir)) == ["metrics.jsonl",
-                                                 "trace.jsonl"]
+        assert sorted(os.listdir(trace_dir)) == sorted(MERGED_ARTIFACTS)
+
+    def test_telemetry_matches_in_memory_results(self, sessions, tmp_path):
+        results, trace_dir = run_traced(sessions, tmp_path, 2)
+        with open(os.path.join(trace_dir, "telemetry.json")) as fp:
+            merged = FleetTelemetry.from_snapshot(json.load(fp))
+        direct = FleetTelemetry.from_results(results)
+        assert merged.snapshot() == direct.snapshot()
+        assert merged.sessions == N_APPS
+        with open(os.path.join(trace_dir, "telemetry.prom")) as fp:
+            assert fp.read() == direct.to_prometheus()
 
     def test_lines_ordered_by_global_session_index(self, sessions, tmp_path):
         _, trace_dir = run_traced(sessions, tmp_path, 2)

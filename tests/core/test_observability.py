@@ -128,6 +128,31 @@ class TestTracer:
         assert [s.name for s in tracer.finished] == ["s2", "s3"]
         assert tracer.dropped == 2
 
+    def test_dropped_spans_surface_as_registry_counter(self):
+        from repro.core.observability import DROPPED_SPANS_COUNTER
+
+        reg = MetricsRegistry()
+        tracer = Tracer(SimulatedClock(), registry=reg, capacity=3)
+        # Pre-created at zero: a healthy trace still exports the counter.
+        assert reg.counter(DROPPED_SPANS_COUNTER).value == 0
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped == 2
+        assert reg.counter(DROPPED_SPANS_COUNTER).value == tracer.dropped
+        assert reg.snapshot()["counters"][DROPPED_SPANS_COUNTER] == 2
+
+    def test_attach_registry_precreates_drop_counter(self):
+        from repro.core.observability import DROPPED_SPANS_COUNTER
+
+        tracer = Tracer(SimulatedClock())
+        reg = MetricsRegistry()
+        tracer.attach_registry(reg)
+        assert tracer.registry is reg
+        assert DROPPED_SPANS_COUNTER in reg.snapshot()["counters"]
+        NULL_TRACER.attach_registry(reg)  # inert no-op on the null tracer
+        assert NULL_TRACER.registry is None
+
     def test_registry_stage_instruments(self):
         clock = SimulatedClock()
         reg = MetricsRegistry()

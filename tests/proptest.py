@@ -14,7 +14,11 @@ invariants of the observability layer that must hold for EVERY input:
   bit-identical to the device meter's;
 - a cache hit never charges an inference (or runs the fallback);
 - an open breaker never runs the CNN — fallback inference only;
-- the ``darpa.pipeline.*`` counters match what the spans recorded.
+- the ``darpa.pipeline.*`` counters match what the spans recorded;
+- telemetry sketch merges are associative, commutative and idempotent
+  on empty sketches, fleet snapshots are invariant to shard order, and
+  the SLO engine emits the same burn-rate alert sequence whether the
+  per-session series was derived in one pass or shard by shard.
 
 Two case indices are pinned rather than random so the matrix is
 non-vacuous under ANY seed base: case 0 is a chaos run (screenshot
@@ -26,8 +30,10 @@ Run a different matrix with ``DARPA_PROPTEST_SEED_BASE=<n> pytest
 tests/proptest.py`` — CI exercises a second base to widen coverage.
 """
 
+import json
 import os
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import Dict, List, Set
 
 import numpy as np
@@ -51,6 +57,14 @@ from repro.core.observability import (
     report_from_spans,
     session_root,
     stage_cpu_ms,
+)
+from repro.core.telemetry import (
+    BurnPolicy,
+    FleetTelemetry,
+    QuantileSketch,
+    SessionTelemetry,
+    SloEngine,
+    SloSpec,
 )
 from repro.geometry import Rect
 from repro.imaging.color import PALETTE
@@ -377,6 +391,131 @@ class TestPipelineExclusions:
             if case.config.fallback_to_heuristic and \
                     span["attributes"].get("outcome") == "ok":
                 assert any(s["name"] == "fallback" for s in subtree)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry algebra: sketch merges and SLO alerting must be invariant
+# to how the fleet was partitioned into shards.
+# ---------------------------------------------------------------------------
+
+def _sketch_snapshot(sketch: QuantileSketch) -> str:
+    return json.dumps(sketch.snapshot(), sort_keys=True)
+
+
+def _random_latencies(rng: np.random.Generator) -> List[float]:
+    values = rng.lognormal(mean=3.0, sigma=1.2,
+                           size=int(rng.integers(20, 200))).tolist()
+    # Sprinkle exact zeros: the zero bucket must merge like any other.
+    return [0.0 if rng.random() < 0.1 else float(v) for v in values]
+
+
+def _observe_all(values: List[float], session: int = 0,
+                 start_id: int = 0) -> QuantileSketch:
+    """Exemplar ids are global (offset by ``start_id``), like span ids
+    that travel with the session regardless of sharding."""
+    sketch = QuantileSketch()
+    for i, v in enumerate(values):
+        sketch.observe(v, exemplar={"session": session,
+                                    "span_id": start_id + i,
+                                    "trace_id": f"t{session}"})
+    return sketch
+
+
+class TestSketchMergeAlgebra:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_merge_is_associative_and_commutative(self, seed):
+        rng = np.random.default_rng(SEED_BASE * 1000 + seed)
+        parts = [_observe_all(_random_latencies(rng), session=i)
+                 for i in range(4)]
+
+        def fold(order, pairing):
+            copies = [QuantileSketch().merge(parts[i]) for i in order]
+            if pairing == "left":
+                acc = copies[0]
+                for sketch in copies[1:]:
+                    acc.merge(sketch)
+                return acc
+            # Balanced tree: (0+1) + (2+3).
+            return copies[0].merge(copies[1]).merge(
+                copies[2].merge(copies[3]))
+
+        want = _sketch_snapshot(fold([0, 1, 2, 3], "left"))
+        assert _sketch_snapshot(fold([3, 1, 0, 2], "left")) == want
+        assert _sketch_snapshot(fold([2, 3, 0, 1], "tree")) == want
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_merge_empty_is_identity(self, seed):
+        rng = np.random.default_rng(SEED_BASE * 2000 + seed)
+        sketch = _observe_all(_random_latencies(rng))
+        want = _sketch_snapshot(sketch)
+        assert _sketch_snapshot(sketch.merge(QuantileSketch())) == want
+        assert _sketch_snapshot(QuantileSketch().merge(sketch)) == want
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sharding_never_changes_the_sketch(self, seed):
+        rng = np.random.default_rng(SEED_BASE * 3000 + seed)
+        values = _random_latencies(rng)
+        whole = _sketch_snapshot(_observe_all(values))
+        for n_shards in (1, 2, 3, 7):
+            bounds = [round(i * len(values) / n_shards)
+                      for i in range(n_shards + 1)]
+            shards = [_observe_all(values[lo:hi], start_id=lo)
+                      for lo, hi in zip(bounds[:-1], bounds[1:])]
+            acc = QuantileSketch()
+            for shard in reversed(shards):
+                acc.merge(shard)
+            assert _sketch_snapshot(acc) == whole
+
+
+def _fleet_results() -> List[SimpleNamespace]:
+    cases = [_CASE_CACHE.setdefault(i, _run_case(i)) for i in CASES]
+    return [SimpleNamespace(spans=c.spans,
+                            metrics=c.tracer.registry.snapshot())
+            for c in cases]
+
+
+#: Hair-trigger objective so the chaos cases actually fire alerts: any
+#: screenshot failure blows the 10% budget over one-session windows.
+TRIGGER_SLO = SloSpec(
+    name="capture", objective=0.9, kind="ratio",
+    bad_counter="screenshot_failures",
+    total_counters=("screens_analyzed", "screenshot_failures"),
+    policies=(BurnPolicy(severity="page", fast_window=1, slow_window=2,
+                         burn_threshold=1.0),))
+
+
+class TestSloShardInvariance:
+    def test_fleet_snapshot_invariant_to_shard_order(self):
+        results = _fleet_results()
+        whole = FleetTelemetry.from_results(results)
+        for split in ((4,), (2, 5), (1, 3, 6)):
+            bounds = [0, *split, len(results)]
+            shards = [
+                FleetTelemetry.from_results(results[lo:hi], start_index=lo)
+                for lo, hi in zip(bounds[:-1], bounds[1:])]
+            for order in (shards, list(reversed(shards))):
+                acc = FleetTelemetry()
+                for shard in order:
+                    acc.merge(shard)
+                assert (json.dumps(acc.snapshot(), sort_keys=True)
+                        == json.dumps(whole.snapshot(), sort_keys=True))
+
+    def test_alert_sequence_identical_sequential_vs_sharded(self):
+        results = _fleet_results()
+        whole_series = [SessionTelemetry.from_result(i, r)
+                        for i, r in enumerate(results)]
+        engine = SloEngine([TRIGGER_SLO])
+        want = engine.evaluate(whole_series).to_dict()
+        assert want["alerts"], "trigger SLO never fired — vacuous check"
+        for bounds in ([0, 3, 8], [0, 1, 4, 8], [0, 8]):
+            sharded_series = []
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                sharded_series.extend(
+                    SessionTelemetry.from_result(lo + i, r)
+                    for i, r in enumerate(results[lo:hi]))
+            got = engine.evaluate(sharded_series).to_dict()
+            assert (json.dumps(got, sort_keys=True)
+                    == json.dumps(want, sort_keys=True))
 
 
 # ---------------------------------------------------------------------------

@@ -11,9 +11,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_unknown_subcommand_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["definitely-not-a-command"])
+        assert excinfo.value.code == 2
+
+    def test_regress_requires_both_files(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["regress", "--baseline", "b.json"])
+        assert excinfo.value.code == 2
+
     def test_dataset_command(self):
         args = build_parser().parse_args(["dataset"])
         assert args.command == "dataset"
+
+    def test_fleet_option_defaults(self):
+        args = build_parser().parse_args(["slo"])
+        assert args.apps == 8 and args.ct == 200.0
+        assert not args.storm and not args.fail_on_alert
 
     def test_train_defaults(self):
         args = build_parser().parse_args(["train"])
@@ -54,3 +69,69 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "All" in out
+
+
+class TestTelemetryCommands:
+    def test_slo_zero_fault_is_quiet(self, capsys):
+        assert main(["slo", "--apps", "4", "--fail-on-alert"]) == 0
+        out = capsys.readouterr().out
+        assert "reaction_p95" in out
+        assert "no burn-rate alerts" in out
+        assert "VIOLATED" not in out
+
+    def test_slo_storm_alerts_and_fails(self, tmp_path, capsys):
+        report_path = tmp_path / "slo.json"
+        rc = main(["slo", "--apps", "4", "--storm", "--fail-on-alert",
+                   "--json", str(report_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "burn-rate alert" in out
+        import json
+        report = json.loads(report_path.read_text())
+        assert report["alerts"] and not report["all_met"]
+
+    def test_metrics_exposition(self, tmp_path, capsys):
+        out_path = tmp_path / "fleet.prom"
+        assert main(["metrics", "--apps", "3",
+                     "--output", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert '# TYPE darpa_latency_reaction_ms summary' in text
+        assert "darpa_pipeline_screens_analyzed_total" in text
+        assert "darpa_trace_dropped_spans_total 0" in text
+
+    def test_trace_then_top_roundtrip(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--output", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 spans dropped" in out
+        assert main(["top", "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "reaction" in out and "1 session(s)" in out
+
+    def test_top_missing_trace_exits_one(self, tmp_path, capsys):
+        rc = main(["top", "--trace", str(tmp_path / "nope.jsonl")])
+        assert rc == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_top_malformed_trace_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name": "debounce"}\n{not json\n')
+        assert main(["top", "--trace", str(bad)]) == 1
+        assert "malformed JSONL" in capsys.readouterr().err
+        not_spans = tmp_path / "notspans.jsonl"
+        not_spans.write_text('{"rows": 3}\n')
+        assert main(["top", "--trace", str(not_spans)]) == 1
+        assert "not a span record" in capsys.readouterr().err
+
+    def test_regress_subcommand_delegates(self, tmp_path, capsys):
+        payload = tmp_path / "b.json"
+        payload.write_text('{"alerts_total": 9}')
+        assert main(["regress", "--baseline", str(payload),
+                     "--fresh", str(payload)]) == 0
+        drifted = tmp_path / "f.json"
+        drifted.write_text('{"alerts_total": 11}')
+        assert main(["regress", "--baseline", str(payload),
+                     "--fresh", str(drifted)]) == 1
+        assert main(["regress", "--baseline", str(payload),
+                     "--fresh", str(drifted),
+                     "--rule", "alerts_total=abs:5"]) == 0
