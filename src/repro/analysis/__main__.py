@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — darpalint without the numpy stack."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,95 @@
+"""darpalint command line (``python -m repro lint`` / ``-m repro.analysis``).
+
+Exit codes follow :mod:`repro.bench.regress` conventions:
+
+- ``0`` — every linted file is clean;
+- ``1`` — at least one finding (listed on stdout);
+- ``2`` — usage error: missing path, unknown rule id, malformed
+  config (reason on stderr; argparse itself also exits 2).
+
+The module deliberately avoids importing the rest of :mod:`repro`
+(and its numpy dependency): ``python -m repro.analysis src/`` works in
+a bare stdlib environment, which is what keeps the CI lint job cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.config import ConfigError, LintConfig, load_config
+from repro.analysis.engine import LintEngine, LintPathError
+from repro.analysis.reporters import render
+from repro.analysis.rules import default_rules, rules_for_ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & sim-correctness linter "
+                    "(rules DL001-DL006).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--rules", default=None, metavar="DL001,DL003",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--config", default=None, metavar="PYPROJECT",
+                        help="pyproject.toml to read [tool.darpalint] "
+                             "from (default: nearest upward from cwd)")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.darpalint] entirely "
+                             "(no allowlists, no excludes)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report here instead of stdout")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.no_config:
+        config = LintConfig()
+    else:
+        try:
+            config = load_config(args.config)
+        except ConfigError as exc:
+            print(f"lint: bad config: {exc}", file=sys.stderr)
+            return 2
+
+    if args.rules is None:
+        rules = default_rules()
+    else:
+        try:
+            rules = rules_for_ids(args.rules.split(","))
+        except KeyError as exc:
+            print(f"lint: unknown rule id {exc.args[0]!r} "
+                  f"(known: {', '.join(sorted(r.id for r in default_rules()))})",
+                  file=sys.stderr)
+            return 2
+
+    engine = LintEngine(rules=rules, config=config)
+    try:
+        findings = engine.lint_paths(list(args.paths))
+    except LintPathError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    report = render(findings, args.format)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fp:
+                fp.write(report)
+        except OSError as exc:
+            print(f"lint: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        sys.stdout.write(report)
+    return 1 if findings else 0
+
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,67 @@
+"""darpalint output: deterministic text and JSON reports.
+
+Both renderers consume the engine's already-sorted finding list and
+add nothing run-dependent (no timestamps, no absolute paths, no
+ordering surprises), so two lint runs over the same tree — whatever
+the input path order — produce byte-identical reports.  CI uploads
+the JSON form as an artifact; the schema is versioned so downstream
+tooling can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Finding
+
+#: Bump when the JSON report schema changes shape.
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-facing report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(f"{rule}={count}"
+                              for rule, count in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-facing report (sorted keys, stable ordering)."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": REPORT_VERSION,
+        "count": len(findings),
+        "by_rule": by_rule,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+}
+
+
+def render(findings: Sequence[Finding], fmt: str = "text") -> str:
+    try:
+        renderer = RENDERERS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown report format {fmt!r}")
+    return renderer(list(findings))
+
+
+__all__ = ["REPORT_VERSION", "RENDERERS", "render", "render_json",
+           "render_text"]

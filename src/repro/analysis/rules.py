@@ -1,0 +1,414 @@
+"""darpalint rules DL001–DL006: the repo's real nondeterminism hazards.
+
+Every rule encodes one defect class that has (or would have) broken
+the serving path's core invariant — *sequential and sharded runs are
+byte-identical, because all behaviour is a pure function of the
+simulated clock and explicit seeds*:
+
+- **DL001 wall-clock** — ``time.time()``/``perf_counter``/
+  ``datetime.now`` etc. read the host clock, which differs per run and
+  per worker.  Simulation state must use
+  :class:`repro.android.clock.SimulatedClock`; genuinely wall-clock
+  needs (user-facing progress, micro-bench timing) go through the
+  allowlisted :mod:`repro.wallclock` helper.
+- **DL002 unseeded-rng** — the ``random`` module's global instance and
+  numpy's legacy global RNG are process-wide hidden state; an unseeded
+  ``random.Random()``/``default_rng()`` seeds from the OS.  All
+  randomness must flow from explicit seeds.
+- **DL003 unordered-iteration** — iterating a ``set``, ``dict.keys()``
+  or ``os.listdir`` result inside merge/export/serialization functions
+  without ``sorted(...)`` makes output depend on hash/filesystem
+  order: exactly the bug class the shard-merge paths are exposed to.
+- **DL004 float-accumulation-in-merge** — ``+=`` on float state inside
+  ``merge``/``snapshot`` functions is order-sensitive (float addition
+  is not associative); the telemetry merge algebra is all-integer (or
+  ``math.fsum``) for this reason.
+- **DL005 swallowed-exception** — bare ``except:`` / ``except X: pass``
+  masks fault-injection outcomes the resilience layer must observe.
+- **DL006 mutable-default-arg** — a shared mutable default leaks state
+  across calls (and across fleet sessions within a worker).
+
+Rules are deliberately syntactic: no type inference, no data flow.
+False positives are handled by ``# darpalint: disable=RULE`` inline
+suppressions or ``[tool.darpalint.allow]`` path allowlists — both of
+which require a human to leave a justification behind.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.analysis.engine import FileContext, Finding
+
+
+class Rule:
+    """Base class: one defect pattern, one stable id."""
+
+    id: str = "DL000"
+    name: str = "abstract"
+    hint: str = ""
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, ctx: FileContext,
+                message: str) -> Finding:
+        return Finding(path=ctx.path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0), rule=self.id,
+                       message=message, hint=self.hint)
+
+
+def _in_scope(ctx: FileContext, patterns: Sequence[str]) -> bool:
+    """True when any enclosing function name matches a pattern."""
+    return any(fnmatchcase(name, pattern)
+               for name in ctx.scope for pattern in patterns)
+
+
+# ---------------------------------------------------------------------------
+# DL001 — wall clock
+# ---------------------------------------------------------------------------
+
+#: Canonical dotted names that read the host clock.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+    "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+class WallClockRule(Rule):
+    id = "DL001"
+    name = "wall-clock"
+    hint = ("use the SimulatedClock for simulation state, or "
+            "repro.wallclock for user-facing progress timing")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = ctx.resolve(node.func)
+        if dotted in WALL_CLOCK_CALLS:
+            yield self.finding(
+                node, ctx, f"call to wall clock {dotted}() — behaviour "
+                           "must be a pure function of the simulated "
+                           "clock and explicit seeds")
+
+
+# ---------------------------------------------------------------------------
+# DL002 — unseeded RNG
+# ---------------------------------------------------------------------------
+
+#: Draw/shuffle functions of the ``random`` module's *global* instance.
+GLOBAL_RANDOM_FNS = frozenset({
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "random_bytes", "randbytes", "getrandbits",
+    "gauss", "normalvariate", "lognormvariate", "expovariate",
+    "betavariate", "gammavariate", "paretovariate", "weibullvariate",
+    "vonmisesvariate", "triangular", "binomialvariate", "seed",
+})
+
+#: Legacy numpy global-RNG entry points (``np.random.rand`` et al.).
+NUMPY_GLOBAL_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "lognormal", "exponential", "poisson",
+    "binomial", "beta", "gamma", "bytes", "seed",
+})
+
+#: Constructors that must be handed an explicit seed argument.
+SEEDED_CONSTRUCTORS = frozenset({
+    "random.Random", "random.SystemRandom",
+    "numpy.random.default_rng", "numpy.random.RandomState",
+})
+
+
+class UnseededRngRule(Rule):
+    id = "DL002"
+    name = "unseeded-rng"
+    hint = ("derive randomness from an explicit seed: "
+            "np.random.default_rng(seed) or random.Random(seed)")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = ctx.resolve(node.func)
+        if dotted is None:
+            return
+        if dotted in SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    node, ctx, f"{dotted}() constructed without a seed — "
+                               "it seeds itself from the OS")
+            return
+        head, _, tail = dotted.rpartition(".")
+        if head == "random" and tail in GLOBAL_RANDOM_FNS:
+            yield self.finding(
+                node, ctx, f"{dotted}() uses the process-global RNG — "
+                           "hidden state shared across the whole run")
+        elif head == "numpy.random" and tail in NUMPY_GLOBAL_FNS:
+            yield self.finding(
+                node, ctx, f"{dotted}() uses numpy's legacy global RNG — "
+                           "hidden state shared across the whole run")
+
+
+# ---------------------------------------------------------------------------
+# DL003 — unordered iteration in merge/export paths
+# ---------------------------------------------------------------------------
+
+#: Calls producing unordered (hash/filesystem-ordered) iterables.
+UNORDERED_PRODUCERS = frozenset({
+    "set", "frozenset", "os.listdir", "os.scandir", "glob.glob",
+    "glob.iglob",
+})
+
+#: Callees that erase iteration order, making the operand's own order
+#: irrelevant (``sorted(x)`` is the canonical fix).
+ORDER_ERASERS = frozenset({"sorted", "set", "frozenset"})
+
+
+def _is_unordered(expr: ast.AST, ctx: FileContext) -> Optional[str]:
+    """Describe why ``expr`` iterates in unordered fashion, or None."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(expr, ast.Call):
+        dotted = ctx.resolve(expr.func)
+        if dotted in UNORDERED_PRODUCERS:
+            return f"{dotted}(...)"
+        if isinstance(expr.func, ast.Attribute) and \
+                expr.func.attr == "keys" and not expr.args:
+            return ".keys() without sorted(...)"
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        # Set algebra: flag when either operand is itself unordered
+        # (``set(a) - set(b)``); plain ``a - b`` on names stays quiet.
+        for side in (expr.left, expr.right):
+            reason = _is_unordered(side, ctx)
+            if reason is not None:
+                return f"set algebra over {reason}"
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    id = "DL003"
+    name = "unordered-iteration"
+    hint = "wrap the iterable in sorted(...) so merge output is stable"
+
+    def _iter_exprs(self, node: ast.AST) -> Iterable[ast.AST]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                yield comp.iter
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx, ctx.config.dl003_functions):
+            return
+        order_erased = any(
+            callee.rpartition(".")[2] in ORDER_ERASERS
+            for callee in ctx.enclosing_calls())
+        if order_erased:
+            return
+        for expr in self._iter_exprs(node):
+            reason = _is_unordered(expr, ctx)
+            if reason is not None:
+                yield self.finding(
+                    expr, ctx,
+                    f"iterating {reason} inside "
+                    f"{ctx.scope_name() or '<module>'}() — output depends "
+                    "on hash/filesystem order, breaking byte-identical "
+                    "shard merges")
+
+
+# ---------------------------------------------------------------------------
+# DL004 — float accumulation in merge/snapshot functions
+# ---------------------------------------------------------------------------
+
+def _is_floaty(expr: ast.AST) -> bool:
+    """True when ``expr`` certainly produces a float somewhere."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name) \
+                and sub.func.id == "float":
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+    return False
+
+
+def _expr_fingerprint(node: ast.AST) -> Optional[Tuple]:
+    """Structural identity of a simple lvalue, load/store agnostic."""
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if isinstance(node, ast.Attribute):
+        base = _expr_fingerprint(node.value)
+        return None if base is None else ("attr", base, node.attr)
+    if isinstance(node, ast.Subscript):
+        base = _expr_fingerprint(node.value)
+        key = _expr_fingerprint(node.slice)
+        if base is None or key is None:
+            return None
+        return ("item", base, key)
+    if isinstance(node, ast.Constant):
+        return ("const", repr(node.value))
+    return None
+
+
+def _reads_target(value: ast.AST, target: ast.AST) -> bool:
+    fp = _expr_fingerprint(target)
+    if fp is None:
+        return False
+    return any(_expr_fingerprint(sub) == fp for sub in ast.walk(value))
+
+
+class FloatAccumulationRule(Rule):
+    id = "DL004"
+    name = "float-accumulation-in-merge"
+    hint = ("keep merge state integer (e.g. micros) or use math.fsum "
+            "over the collected values — float += is order-sensitive")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx, ctx.config.dl004_functions):
+            return
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            if _is_floaty(node.value):
+                yield self.finding(
+                    node, ctx,
+                    f"float += inside {ctx.scope_name()}() — float "
+                    "addition is not associative, so merge order changes "
+                    "the result")
+        elif isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.BinOp) and \
+                isinstance(node.value.op, ast.Add) and \
+                _is_floaty(node.value):
+            for target in node.targets:
+                if _reads_target(node.value, target):
+                    yield self.finding(
+                        node, ctx,
+                        f"float accumulation into {ast.unparse(target)} "
+                        f"inside {ctx.scope_name()}() — float addition is "
+                        "not associative, so merge order changes the result")
+                    break
+
+
+# ---------------------------------------------------------------------------
+# DL005 — swallowed exceptions
+# ---------------------------------------------------------------------------
+
+class SwallowedExceptionRule(Rule):
+    id = "DL005"
+    name = "swallowed-exception"
+    hint = ("catch specific exceptions and record the outcome — the "
+            "fault-injection layer must be able to observe failures")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.ExceptHandler):
+            return
+        if node.type is None:
+            yield self.finding(
+                node, ctx, "bare except: catches everything, including "
+                           "injected faults and KeyboardInterrupt")
+            return
+        if all(isinstance(stmt, ast.Pass) or
+               (isinstance(stmt, ast.Expr) and
+                isinstance(stmt.value, ast.Constant) and
+                stmt.value.value is Ellipsis)
+               for stmt in node.body):
+            yield self.finding(
+                node, ctx, "except-with-pass silently swallows the "
+                           "failure — fault outcomes must stay observable")
+
+
+# ---------------------------------------------------------------------------
+# DL006 — mutable default argument
+# ---------------------------------------------------------------------------
+
+#: Constructor calls that build a fresh mutable container.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter", "collections.deque",
+})
+
+
+class MutableDefaultRule(Rule):
+    id = "DL006"
+    name = "mutable-default-arg"
+    hint = "default to None and create the container inside the body"
+
+    def _is_mutable(self, expr: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            return ctx.resolve(expr.func) in MUTABLE_CONSTRUCTORS
+        return False
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            return
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if self._is_mutable(default, ctx):
+                yield self.finding(
+                    default, ctx,
+                    f"mutable default argument in {name}() — the "
+                    "container is shared across every call")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+ALL_RULES: Tuple[type, ...] = (
+    WallClockRule,
+    UnseededRngRule,
+    UnorderedIterationRule,
+    FloatAccumulationRule,
+    SwallowedExceptionRule,
+    MutableDefaultRule,
+)
+
+RULES_BY_ID: Dict[str, type] = {cls.id: cls for cls in ALL_RULES}
+
+
+def default_rules() -> Tuple[Rule, ...]:
+    """One fresh instance of every registered rule, in id order."""
+    return tuple(cls() for cls in ALL_RULES)
+
+
+def rules_for_ids(ids: Iterable[str]) -> Tuple[Rule, ...]:
+    """Instances for ``ids`` (case-insensitive); unknown ids raise."""
+    out = []
+    for rule_id in ids:
+        cls = RULES_BY_ID.get(rule_id.strip().upper())
+        if cls is None:
+            raise KeyError(rule_id)
+        out.append(cls())
+    return tuple(out)
+
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "WallClockRule",
+    "UnseededRngRule",
+    "UnorderedIterationRule",
+    "FloatAccumulationRule",
+    "SwallowedExceptionRule",
+    "MutableDefaultRule",
+    "default_rules",
+    "rules_for_ids",
+]

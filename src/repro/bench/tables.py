@@ -46,7 +46,9 @@ def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
         try:
             sys.__stdout__.write(text + "\n")
             sys.__stdout__.flush()
-        except (OSError, ValueError, AttributeError):
+        # Best-effort mirror only: a closed/redirected real stdout must
+        # never fail the benchmark that is being logged.
+        except (OSError, ValueError, AttributeError):  # darpalint: disable=DL005
             pass
 
 
@@ -57,7 +59,8 @@ def echo(text: str) -> None:
         try:
             sys.__stdout__.write(text + "\n")
             sys.__stdout__.flush()
-        except (OSError, ValueError, AttributeError):
+        # Best-effort mirror only (same contract as print_table).
+        except (OSError, ValueError, AttributeError):  # darpalint: disable=DL005
             pass
 
 

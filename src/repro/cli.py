@@ -11,6 +11,7 @@ Commands:
 - ``slo``       — evaluate fleet SLOs + burn-rate alerts (CI smoke)
 - ``top``       — terminal latency/health summary of a fleet or trace
 - ``regress``   — gate fresh benchmark output against a baseline
+- ``lint``      — darpalint static analysis (determinism rules DL001-6)
 - ``survey``    — user-study findings (Section III-B)
 
 File-reading commands exit 1 on missing or malformed inputs (with the
@@ -21,7 +22,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 import numpy as np
@@ -64,12 +64,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     model = TinyYolo(YoloConfig(), seed=args.seed)
     trainer = YoloTrainer(model, lr=args.lr, batch_size=args.batch_size,
                           seed=args.seed)
-    t0 = time.time()
+    from repro.wallclock import Stopwatch
+    watch = Stopwatch()
     for epoch in range(args.epochs):
         loss = trainer.train_epoch(train)
         if (epoch + 1) % max(1, args.epochs // 10) == 0:
             print(f"  epoch {epoch + 1}/{args.epochs} loss={loss:.4f} "
-                  f"({time.time() - t0:.0f}s)")
+                  f"({watch.elapsed_s():.0f}s)")
     np.savez(args.output, **model.state_dict())
     print(f"Saved model state to {args.output}")
     if not args.no_eval:
@@ -357,6 +358,22 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return regress_main(argv)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.config:
+        argv += ["--config", args.config]
+    if args.no_config:
+        argv.append("--no-config")
+    if args.output:
+        argv += ["--output", args.output]
+    return lint_main(argv)
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     del args
     from examples.user_study_report import main as report
@@ -440,6 +457,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_regress.add_argument("--rule", action="append", default=[],
                            metavar="PATTERN=rel:F|abs:F")
 
+    p_lint = sub.add_parser(
+        "lint", help="darpalint: determinism & sim-correctness rules")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    p_lint.add_argument("--rules", default=None, metavar="DL001,DL003",
+                        help="comma-separated rule ids (default: all)")
+    p_lint.add_argument("--config", default=None, metavar="PYPROJECT",
+                        help="pyproject.toml with [tool.darpalint]")
+    p_lint.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.darpalint] entirely")
+    p_lint.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to a file")
+
     sub.add_parser("survey", help="user-study findings")
     return parser
 
@@ -454,6 +486,7 @@ _COMMANDS = {
     "slo": _cmd_slo,
     "top": _cmd_top,
     "regress": _cmd_regress,
+    "lint": _cmd_lint,
     "survey": _cmd_survey,
 }
 

@@ -495,25 +495,29 @@ def merge_registry_snapshots(
     """Fold per-session :class:`MetricsRegistry` snapshots into one.
 
     Counters and histogram tallies add; gauges are last-write-wins in
-    the given order.  Feeding snapshots in global session order makes
-    the merged result identical for sequential and sharded runs.
+    the given order (feed snapshots in global session order).  Histogram
+    ``sum`` totals are folded with :func:`math.fsum`, which is exactly
+    rounded and therefore permutation-invariant — shard merge order
+    cannot skew the merged float by even an ulp.
     """
     counters: Dict[str, int] = {}
     gauges: Dict[str, float] = {}
     histograms: Dict[str, Dict[str, object]] = {}
+    hist_sums: Dict[str, List[float]] = {}
     for snap in snapshots:
         for name, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
             counters[name] = counters.get(name, 0) + int(value)
         for name, value in snap.get("gauges", {}).items():  # type: ignore[union-attr]
             gauges[name] = float(value)
         for name, hist in snap.get("histograms", {}).items():  # type: ignore[union-attr]
+            hist_sums.setdefault(name, []).append(float(hist["sum"]))
             merged = histograms.get(name)
             if merged is None:
                 histograms[name] = {
                     "buckets": list(hist["buckets"]),
                     "bucket_counts": list(hist["bucket_counts"]),
                     "count": int(hist["count"]),
-                    "sum": float(hist["sum"]),
+                    "sum": 0.0,
                 }
                 continue
             if list(hist["buckets"]) != merged["buckets"]:
@@ -524,7 +528,8 @@ def merge_registry_snapshots(
                 a + b for a, b in zip(merged["bucket_counts"],
                                       hist["bucket_counts"])]
             merged["count"] = int(merged["count"]) + int(hist["count"])
-            merged["sum"] = float(merged["sum"]) + float(hist["sum"])
+    for name, values in hist_sums.items():
+        histograms[name]["sum"] = math.fsum(values)
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 

@@ -16,7 +16,6 @@ good — and the Mask variants (which refine boxes) beat the Faster ones.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +30,7 @@ from repro.vision.dataset import CLASS_NAMES, DetectionDataset
 from repro.vision.features import Resnet50Backbone, Vgg16Backbone
 from repro.vision.nn import Adam, Linear, softmax, softmax_cross_entropy
 from repro.vision.refine import snap_box_to_region
+from repro.wallclock import monotonic_ms
 
 _BG_CLASS = 2  # after AGO=0, UPO=1
 
@@ -307,7 +307,7 @@ class RcnnDetector:
     def detect_screen(self, image: np.ndarray) -> List[ScoredBox]:
         if not self._fitted:
             raise RuntimeError(f"{self.name} used before fit()")
-        start = time.perf_counter()
+        start = monotonic_ms()
         proposals = propose_regions(image)
         detections: List[ScoredBox] = []
         if proposals:
@@ -328,7 +328,7 @@ class RcnnDetector:
                 detections.append(ScoredBox(rect=box, label=CLASS_NAMES[cls],
                                             score=float(np.clip(p[cls], 0, 1))))
         kept = non_max_suppression(detections, iou_threshold=self.config.nms_iou)
-        self.last_inference_ms = (time.perf_counter() - start) * 1000.0
+        self.last_inference_ms = monotonic_ms() - start
         return kept
 
     def detect_screens(self, images: Sequence[np.ndarray],

@@ -1,0 +1,7 @@
+"""Fixture: excluded by the fixture pyproject's exclude globs."""
+
+import time
+
+
+def stamp():
+    return time.time()

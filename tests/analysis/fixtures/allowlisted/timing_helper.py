@@ -1,0 +1,7 @@
+"""Fixture: wall-clock helper allowlisted by the fixture pyproject."""
+
+import time
+
+
+def monotonic_ms():
+    return time.perf_counter() * 1000.0

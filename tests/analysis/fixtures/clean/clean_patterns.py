@@ -1,0 +1,64 @@
+"""Fixture: near-miss patterns that must NOT raise any finding.
+
+Every block here is the sanctioned twin of a dirty-fixture pattern:
+the linter earning its keep means flagging the dirty file while
+staying silent on all of this.
+"""
+
+import math
+import random
+
+import numpy as np
+
+
+def simulated_now(clock):
+    # DL001 negative: reading the sim clock is the whole point.
+    return clock.now_ms
+
+
+def pick_seeded(items, seed):
+    # DL002 negative: explicit seeds for both RNG families.
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    return rng.choice(items), np_rng
+
+
+def merge_counts_sorted(parts):
+    # DL003 negative: sorted() restores a deterministic order, and
+    # .items() (insertion-ordered) is never flagged.
+    out = {}
+    for part in parts:
+        for key in sorted(part.keys()):
+            out[key] = out.get(key, 0) + part[key]
+        for key, value in part.items():
+            out[key] = max(out[key], value)
+    return out
+
+
+def merge_totals_integer(parts):
+    # DL004 negative: integer accumulation is exactly associative,
+    # and fsum over collected floats is permutation-invariant.
+    total = 0
+    floats = []
+    for part in parts:
+        total += int(part)
+        floats.append(float(part))
+    return total, math.fsum(floats)
+
+
+def read_and_report(path, failures):
+    # DL005 negative: the failure is recorded, not swallowed.
+    try:
+        with open(path) as fp:
+            return fp.read()
+    except OSError as exc:
+        failures.append(str(exc))
+        return ""
+
+
+def collect_fresh(item, seen=None):
+    # DL006 negative: the None-default idiom.
+    if seen is None:
+        seen = []
+    seen.append(item)
+    return seen

@@ -1,0 +1,7 @@
+"""Fixture: exactly one DL001 (wall clock) violation."""
+
+import time
+
+
+def progress_seconds():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: exactly one DL002 (unseeded RNG) violation."""
+
+import random
+
+
+def pick(items):
+    return random.choice(items)

@@ -1,0 +1,9 @@
+"""Fixture: exactly one DL003 (unordered iteration) violation."""
+
+
+def merge_counts(parts):
+    out = {}
+    for part in parts:
+        for key in part.keys():
+            out[key] = out.get(key, 0) + part[key]
+    return out

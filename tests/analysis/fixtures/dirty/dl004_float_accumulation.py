@@ -1,0 +1,8 @@
+"""Fixture: exactly one DL004 (float accumulation in merge) violation."""
+
+
+def merge_totals(parts):
+    total = 0.0
+    for part in parts:
+        total += float(part)
+    return total

@@ -1,0 +1,10 @@
+"""Fixture: exactly one DL005 (swallowed exception) violation."""
+
+
+def read_best_effort(path):
+    try:
+        with open(path) as fp:
+            return fp.read()
+    except OSError:
+        pass
+    return ""

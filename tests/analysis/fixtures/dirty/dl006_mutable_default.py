@@ -1,0 +1,6 @@
+"""Fixture: exactly one DL006 (mutable default argument) violation."""
+
+
+def collect(item, seen=[]):
+    seen.append(item)
+    return seen

@@ -1,0 +1,17 @@
+"""Fixture: violations neutralized by inline suppressions."""
+
+import time
+
+
+def progress_seconds():
+    # Justification lives with the suppression, as the workflow demands.
+    return time.time()  # darpalint: disable=DL001
+
+
+def best_effort(path):
+    try:
+        with open(path) as fp:
+            return fp.read()
+    except OSError:  # darpalint: disable=all
+        pass
+    return ""

@@ -1,6 +1,7 @@
 """Unit tests for repro.core.telemetry: quantile sketches, session /
 fleet telemetry derivation, exporters, and the SLO burn-rate engine."""
 
+import itertools
 import json
 import math
 from types import SimpleNamespace
@@ -298,6 +299,23 @@ class TestRegistryMerge:
         with pytest.raises(ValueError):
             merge_registry_snapshots(
                 [{"histograms": {"h": hist}}, {"histograms": {"h": other}}])
+
+    def test_histogram_sums_invariant_to_snapshot_order(self):
+        # darpalint DL004 regression: the merged float sum must not
+        # depend on shard merge order.  These magnitudes make naive
+        # left-to-right addition order-sensitive (1e16 + 1.0 == 1e16),
+        # so only an exactly-rounded fold passes for every permutation.
+        def snap(value):
+            return {"histograms": {"h": {"buckets": [1.0],
+                                         "bucket_counts": [1, 0],
+                                         "count": 1, "sum": value}}}
+
+        snaps = [snap(1e16), snap(1.0), snap(-1e16), snap(1.0)]
+        want = merge_registry_snapshots(snaps)["histograms"]["h"]["sum"]
+        assert want == 2.0
+        for order in itertools.permutations(range(4)):
+            got = merge_registry_snapshots([snaps[i] for i in order])
+            assert got["histograms"]["h"]["sum"] == want
 
     def test_prometheus_histogram_is_cumulative(self):
         lines = registry_prometheus_lines({

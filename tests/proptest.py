@@ -18,7 +18,10 @@ invariants of the observability layer that must hold for EVERY input:
 - telemetry sketch merges are associative, commutative and idempotent
   on empty sketches, fleet snapshots are invariant to shard order, and
   the SLO engine emits the same burn-rate alert sequence whether the
-  per-session series was derived in one pass or shard by shard.
+  per-session series was derived in one pass or shard by shard;
+- darpalint (``repro.analysis``) flags every generated rule-violating
+  snippet with exactly the seeded rule, and never flags generated
+  clean snippets, across the same seed matrix.
 
 Two case indices are pinned rather than random so the matrix is
 non-vacuous under ANY seed base: case 0 is a chaos run (screenshot
@@ -39,6 +42,7 @@ from typing import Dict, List, Set
 import numpy as np
 import pytest
 
+from repro.analysis import LintConfig, LintEngine
 from repro.android import (
     AppSpec,
     SemanticRole,
@@ -516,6 +520,139 @@ class TestSloShardInvariance:
             got = engine.evaluate(sharded_series).to_dict()
             assert (json.dumps(got, sort_keys=True)
                     == json.dumps(want, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# darpalint: generated violating snippets are always flagged with the
+# seeded rule (and only it); generated clean snippets never are.
+# ---------------------------------------------------------------------------
+
+_SNIPPET_NAMES = ("alpha", "bravo", "delta", "kappa", "sigma", "omega")
+
+
+def _pick(rng: np.random.Generator, options):
+    return options[int(rng.integers(0, len(options)))]
+
+
+def _lint_rules(source: str) -> List[str]:
+    # Explicit default config so the repo's own [tool.darpalint]
+    # allowlists cannot leak into generated-snippet expectations.
+    engine = LintEngine(config=LintConfig())
+    return sorted({f.rule for f in engine.lint_source(source, path="gen.py")})
+
+
+def _dirty_dl001(rng):
+    call = _pick(rng, ("time.time()", "time.perf_counter()",
+                       "time.monotonic()", "time.time_ns()"))
+    return (f"import time\n\ndef {_pick(rng, _SNIPPET_NAMES)}():\n"
+            f"    return {call}\n")
+
+
+def _dirty_dl002(rng):
+    call = _pick(rng, ("random.random()", "random.Random()",
+                       f"random.randint(0, {int(rng.integers(2, 99))})",
+                       "random.shuffle(items)"))
+    return (f"import random\n\ndef {_pick(rng, _SNIPPET_NAMES)}(items):\n"
+            f"    return {call}\n")
+
+
+def _dirty_dl003(rng):
+    scope = _pick(rng, ("merge_", "export_")) + _pick(rng, _SNIPPET_NAMES)
+    iterable = _pick(rng, ("table.keys()", "set(rows)",
+                           "set(left) | right"))
+    return (f"def {scope}(table, rows, left, right):\n"
+            f"    out = []\n"
+            f"    for item in {iterable}:\n"
+            f"        out.append(item)\n"
+            f"    return out\n")
+
+
+def _dirty_dl004(rng):
+    scope = _pick(rng, ("merge_", "snapshot_")) + _pick(rng, _SNIPPET_NAMES)
+    step = _pick(rng, ("float(part)", f"part * {float(rng.integers(1, 9))}",
+                       "part / 2"))
+    return (f"def {scope}(parts):\n"
+            f"    total = 0.0\n"
+            f"    for part in parts:\n"
+            f"        total += {step}\n"
+            f"    return total\n")
+
+
+def _dirty_dl005(rng):
+    handler = _pick(rng, ("except OSError:", "except Exception:", "except:"))
+    return (f"def {_pick(rng, _SNIPPET_NAMES)}(path):\n"
+            f"    try:\n"
+            f"        handle = open(path)\n"
+            f"    {handler}\n"
+            f"        pass\n")
+
+
+def _dirty_dl006(rng):
+    default = _pick(rng, ("[]", "{}", "set()", "dict()", "list()"))
+    return (f"def {_pick(rng, _SNIPPET_NAMES)}(item, acc={default}):\n"
+            f"    return acc\n")
+
+
+_DIRTY_GENERATORS = {
+    "DL001": _dirty_dl001,
+    "DL002": _dirty_dl002,
+    "DL003": _dirty_dl003,
+    "DL004": _dirty_dl004,
+    "DL005": _dirty_dl005,
+    "DL006": _dirty_dl006,
+}
+
+
+def _clean_snippets(rng: np.random.Generator) -> List[str]:
+    name = _pick(rng, _SNIPPET_NAMES)
+    seed = int(rng.integers(1, 999))
+    return [
+        # Simulated clock, not wall clock.
+        f"def {name}(clock):\n    return clock.now_ms()\n",
+        # Explicitly seeded RNGs.
+        (f"import random\n\ndef {name}():\n"
+         f"    return random.Random({seed}).random()\n"),
+        (f"import numpy as np\n\ndef {name}():\n"
+         f"    return np.random.default_rng({seed})\n"),
+        # Sorted iteration inside a merge scope.
+        (f"def merge_{name}(table):\n"
+         f"    return [key for key in sorted(table.keys())]\n"),
+        # Integer accumulation in a merge scope; fsum for floats.
+        (f"import math\n\ndef merge_{name}(parts):\n"
+         f"    count = 0\n"
+         f"    for part in parts:\n"
+         f"        count += 1\n"
+         f"    return count, math.fsum(parts)\n"),
+        # Exception recorded, not swallowed.
+        (f"def {name}(path, errors):\n"
+         f"    try:\n"
+         f"        return open(path)\n"
+         f"    except OSError as exc:\n"
+         f"        errors.append(str(exc))\n"
+         f"        return None\n"),
+        # None-default idiom.
+        (f"def {name}(item, acc=None):\n"
+         f"    if acc is None:\n"
+         f"        acc = []\n"
+         f"    acc.append(item)\n"
+         f"    return acc\n"),
+    ]
+
+
+class TestDarpalintProperty:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("rule", sorted(_DIRTY_GENERATORS))
+    def test_violating_snippets_always_flagged(self, rule, seed):
+        rng = np.random.default_rng(
+            SEED_BASE * 4000 + seed * 10 + int(rule[2:]))
+        source = _DIRTY_GENERATORS[rule](rng)
+        assert _lint_rules(source) == [rule], source
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clean_snippets_never_flagged(self, seed):
+        rng = np.random.default_rng(SEED_BASE * 5000 + seed)
+        for source in _clean_snippets(rng):
+            assert _lint_rules(source) == [], source
 
 
 # ---------------------------------------------------------------------------
