@@ -174,7 +174,10 @@ def test_chaos_sweep(benchmark):
         assert r["recall"] > 0, f"{r['plan']} flagged nothing"
         assert r["recall"] <= zero["recall"] + 1e-9
 
+    from repro.bench.provenance import build_manifest
     payload = {
+        "manifest": build_manifest(
+            "runtime-fleet-v1", 0, {"n_apps": N_APPS, "ct_ms": CT_MS}),
         "benchmark": "chaos",
         "n_apps": N_APPS,
         "ct_ms": CT_MS,

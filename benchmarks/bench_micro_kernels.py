@@ -3,25 +3,31 @@
 These use pytest-benchmark's repeated timing (no pedantic one-shots):
 the conv forward pass, the IoU matrix, NMS, screen rendering, and the
 end-to-end per-frame detection latency that the paper's overhead model
-depends on.  The batched-vs-looped comparison additionally persists its
-timings to ``BENCH_kernels.json`` at the repository root, so the
-serving-path speedup is machine-checkable across commits.
+depends on.  The execution-mode sweep additionally persists its timings
+to ``BENCH_kernels.json`` at the repository root (override the
+directory with ``DARPA_BENCH_OUT``; the payload carries a provenance
+manifest), so the serving-path speedup is machine-checkable across
+commits.  The int8 test reports the Table-IV-style accuracy delta of
+calibrated int8 execution against the float plan.
 """
 
-import json
-import time
+import os
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.android import Device, View, render_screen
+from repro.bench import evaluate_detector, print_table
+from repro.bench.kernels import run_kernel_bench
 from repro.datagen import build_aui_screen
 from repro.datagen.specs import AuiType, SampleSpec
 from repro.geometry import Rect, ScoredBox, non_max_suppression, pairwise_iou
 from repro.imaging.color import PALETTE
+from repro.vision import DeployConfig, PortConfig, TinyYolo, YoloConfig, port_model
 from repro.vision.dataset import to_input_tensor
 from repro.vision.nn import Conv2D
+from repro.wallclock import monotonic_ms
 
 
 @pytest.fixture(scope="module")
@@ -82,45 +88,82 @@ def _best_of(fn, rounds: int = 3) -> float:
     fn()
     best = float("inf")
     for _ in range(rounds):
-        t0 = time.perf_counter()
+        t0 = monotonic_ms()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best * 1e3
+        best = min(best, monotonic_ms() - t0)
+    return best
 
 
-def test_micro_batched_vs_looped_forward(trained_model, test_dataset):
-    """Batched plan forward vs the legacy per-image training-graph
-    forward, at batch sizes 1/8/32; persists ``BENCH_kernels.json``.
+def test_micro_kernel_modes():
+    """Forward-pass execution-mode sweep; persists ``BENCH_kernels.json``.
 
-    The acceptance bar for the serving path: one batch-32 plan forward
-    beats 32 legacy size-1 forwards by at least 3x.
+    Runs the shared :func:`repro.bench.kernels.run_kernel_bench` sweep
+    (fp32 per-image / fp32 tiled / calibrated int8 / multicore) and
+    re-measures the legacy per-image training-graph forward *in the
+    same process*, so the acceptance ratio compares two numbers from
+    the same machine state — robust to host speed, unlike a bar
+    against the committed absolute milliseconds.
     """
-    images = test_dataset.screen_images[:32]
-    assert len(images) == 32
-    x = np.stack([to_input_tensor(img) for img in images])
-    plan = trained_model.inference_plan()
+    out_dir = Path(os.environ.get(
+        "DARPA_BENCH_OUT", str(Path(__file__).resolve().parents[1])))
+    payload = run_kernel_bench(out_path=str(out_dir / "BENCH_kernels.json"))
 
-    batched = {}
-    looped = {}
-    for n in (1, 8, 32):
-        xb = x[:n]
-        batched[n] = _best_of(lambda: plan.forward(xb))
-        looped[n] = _best_of(lambda: [
-            trained_model.forward(xb[i:i + 1], training=False)
-            for i in range(n)
-        ])
-    speedup = {n: looped[n] / batched[n] for n in batched}
-    payload = {
-        "kernel": "tiny_yolo_forward",
-        "input_shape": list(x.shape[1:]),
-        "batched_forward_ms": {str(n): round(v, 3) for n, v in batched.items()},
-        "looped_forward_ms": {str(n): round(v, 3) for n, v in looped.items()},
-        "speedup": {str(n): round(v, 3) for n, v in speedup.items()},
-    }
-    out_path = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nbatched-vs-looped forward (ms): {payload['batched_forward_ms']} "
-          f"vs {payload['looped_forward_ms']} -> speedup {payload['speedup']}")
-    assert speedup[32] >= 3.0, (
-        f"batch-32 plan must be >=3x faster than 32 size-1 forwards, "
-        f"got {speedup[32]:.2f}x")
+    # Same-machine reference: the training graph looped image-by-image
+    # (weights don't affect timing, so the seeded untrained model is
+    # exactly as heavy as the trained one).
+    model = TinyYolo(YoloConfig(), seed=0)
+    x = np.random.default_rng(0).random(
+        (32, 3, model.config.input_h, model.config.input_w), dtype=np.float32)
+    looped_ms = _best_of(lambda: [
+        model.forward(x[i:i + 1], training=False) for i in range(32)])
+
+    rows = [[name, record["forward_ms"]["32"],
+             f"{record['speedup_vs_per_image']:.2f}x",
+             f"{looped_ms / record['forward_ms']['32']:.2f}x"]
+            for name, record in payload["modes"].items()]
+    print_table(["Mode", "batch-32 ms", "vs per-image", "vs legacy loop"],
+                rows, title="TinyYolo forward execution modes")
+    print(f"legacy looped forward: {looped_ms:.1f} ms; best mode vs "
+          f"{payload['baseline_ms_batch32']} ms historical baseline: "
+          f"{payload['speedup_vs_baseline_batch32']:.2f}x")
+
+    best_ms = min(r["forward_ms"]["32"] for r in payload["modes"].values())
+    assert looped_ms / best_ms >= 4.0, (
+        f"best plan mode must be >=4x faster than the looped training "
+        f"graph, got {looped_ms / best_ms:.2f}x")
+    assert payload["speedup_vs_baseline_batch32"] > 1.0
+
+
+def test_int8_accuracy_delta(trained_model, test_dataset):
+    """Table-IV-style check: calibrated int8 execution vs the float plan.
+
+    Both sides run the same BN-folded weights; the only difference is
+    the int8 GEMM path (per-channel weight scales, per-tensor
+    activation scales calibrated on real test screens).  The F1 delta
+    must stay within a small epsilon of the float plan.
+    """
+    float_result = evaluate_detector(trained_model, test_dataset)
+
+    calibration = np.stack([to_input_tensor(img)
+                            for img in test_dataset.screen_images[:8]])
+    int8_port = port_model(
+        trained_model, PortConfig(quantization="none"),
+        deploy=DeployConfig(precision="int8", gemm="tiled"),
+        calibration=calibration)
+    int8_result = evaluate_detector(int8_port, test_dataset)
+
+    rows = []
+    for name, result in (("float plan", float_result),
+                         ("int8 plan", int8_result)):
+        for cls in ("UPO", "AGO", "All"):
+            p, r, f = result.row(cls)
+            rows.append([name, cls, p, r, f])
+    print_table(["Execution", "AUI Type", "Precision", "Recall", "F1"],
+                rows, title="Calibrated int8 execution vs float")
+
+    f_float = float_result.row("All")[2]
+    f_int8 = int8_result.row("All")[2]
+    print(f"int8 All-F1 delta: {f_int8 - f_float:+.4f}")
+    assert abs(f_int8 - f_float) <= 0.02, (
+        f"int8 execution must stay within 2 F1 points of float, "
+        f"delta {f_int8 - f_float:+.4f}")

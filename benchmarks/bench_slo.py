@@ -132,7 +132,12 @@ def test_slo_fleet(benchmark):
     assert quiet["sketch_counts"]["darpa.latency.reaction_ms"] > 0
     assert reaction["p50"] <= reaction["p95"] <= reaction["p99"]
 
+    from repro.bench.provenance import build_manifest
     payload = {
+        "manifest": build_manifest(
+            "runtime-fleet-v1", 0,
+            {"n_apps": N_APPS, "ct_ms": CT_MS,
+             "telemetry_version": TELEMETRY_VERSION}),
         "benchmark": "slo",
         "n_apps": N_APPS,
         "ct_ms": CT_MS,

@@ -6,6 +6,7 @@ Schema (all keys optional)::
     exclude = ["src/generated/*"]          # paths never linted
     dl003-functions = ["*merge*", ...]     # scopes DL003 applies to
     dl004-functions = ["*merge*", ...]     # scopes DL004 applies to
+    dl007-functions = ["*merge*", ...]     # scopes DL007 applies to
 
     [tool.darpalint.allow]
     # Per-rule path allowlists.  Every entry should carry a comment
@@ -45,6 +46,13 @@ DEFAULT_DL003_FUNCTIONS: Tuple[str, ...] = (
 #: Function-name globs inside which DL004 (float accumulation) fires.
 DEFAULT_DL004_FUNCTIONS: Tuple[str, ...] = ("*merge*", "*snapshot*")
 
+#: Function-name globs inside which DL007 (undocumented matmul
+#: reduction) fires — the merge/reduction scopes where a BLAS dot
+#: product hides an order-sensitive float sum.
+DEFAULT_DL007_FUNCTIONS: Tuple[str, ...] = (
+    "*merge*", "*reduce*", "*accumulate*", "*fold*", "*snapshot*",
+)
+
 
 class ConfigError(Exception):
     """``[tool.darpalint]`` is present but malformed."""
@@ -60,6 +68,7 @@ class LintConfig:
     exclude: Tuple[str, ...] = ()
     dl003_functions: Tuple[str, ...] = DEFAULT_DL003_FUNCTIONS
     dl004_functions: Tuple[str, ...] = DEFAULT_DL004_FUNCTIONS
+    dl007_functions: Tuple[str, ...] = DEFAULT_DL007_FUNCTIONS
 
     def excluded(self, path: str) -> bool:
         return _path_matches(path, self.exclude)
@@ -142,6 +151,8 @@ def config_from_table(table: Mapping[str, object],
             config.dl003_functions = _string_tuple(value, origin, key)
         elif key == "dl004-functions":
             config.dl004_functions = _string_tuple(value, origin, key)
+        elif key == "dl007-functions":
+            config.dl007_functions = _string_tuple(value, origin, key)
         else:
             raise ConfigError(
                 f"{origin}: unknown [tool.darpalint] key {key!r}")
@@ -292,6 +303,7 @@ __all__ = [
     "ConfigError",
     "DEFAULT_DL003_FUNCTIONS",
     "DEFAULT_DL004_FUNCTIONS",
+    "DEFAULT_DL007_FUNCTIONS",
     "LintConfig",
     "config_from_table",
     "find_pyproject",

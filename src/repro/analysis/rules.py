@@ -1,4 +1,4 @@
-"""darpalint rules DL001–DL006: the repo's real nondeterminism hazards.
+"""darpalint rules DL001–DL007: the repo's real nondeterminism hazards.
 
 Every rule encodes one defect class that has (or would have) broken
 the serving path's core invariant — *sequential and sharded runs are
@@ -27,6 +27,13 @@ simulated clock and explicit seeds*:
   masks fault-injection outcomes the resilience layer must observe.
 - **DL006 mutable-default-arg** — a shared mutable default leaks state
   across calls (and across fleet sessions within a worker).
+- **DL007 undocumented-matmul-reduction** — ``@`` / ``np.dot`` /
+  ``np.matmul`` inside merge/reduction scopes hides an order-sensitive
+  float sum behind a BLAS call whose internal accumulation order is
+  shape- and build-dependent (the kernel work measured grouped GEMMs
+  diverging from per-row GEMMs at specific shapes).  Such products
+  must carry a ``reduction-order:`` comment stating why the order is
+  fixed (or why divergence is acceptable).
 
 Rules are deliberately syntactic: no type inference, no data flow.
 False positives are handled by ``# darpalint: disable=RULE`` inline
@@ -368,6 +375,57 @@ class MutableDefaultRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# DL007 — undocumented matmul reduction in merge/reduction scopes
+# ---------------------------------------------------------------------------
+
+#: Dotted callables that reduce through a BLAS dot product.
+MATMUL_CALLS = frozenset({
+    "numpy.dot", "numpy.matmul", "numpy.vdot", "numpy.inner",
+    "numpy.einsum", "numpy.tensordot",
+})
+
+#: Marker comment documenting a product's accumulation order.  Same or
+#: previous line, e.g. ``# reduction-order: fixed K, never split``.
+REDUCTION_ORDER_MARKER = "reduction-order:"
+
+
+class UndocumentedMatmulReductionRule(Rule):
+    id = "DL007"
+    name = "undocumented-matmul-reduction"
+    hint = ("a BLAS product is a float reduction with shape-dependent "
+            "internal order; add a '# reduction-order: ...' comment "
+            "stating why the accumulation order is fixed here")
+
+    def _documented(self, node: ast.AST, ctx: FileContext) -> bool:
+        lineno = getattr(node, "lineno", 1)
+        for line_index in (lineno - 1, lineno - 2):
+            if 0 <= line_index < len(ctx.source_lines) and \
+                    REDUCTION_ORDER_MARKER in ctx.source_lines[line_index]:
+                return True
+        return False
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx, ctx.config.dl007_functions):
+            return
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            what = "the @ operator"
+        elif isinstance(node, ast.Call):
+            dotted = ctx.resolve(node.func)
+            if dotted not in MATMUL_CALLS:
+                return
+            what = f"{dotted}()"
+        else:
+            return
+        if self._documented(node, ctx):
+            return
+        yield self.finding(
+            node, ctx,
+            f"{what} inside {ctx.scope_name() or '<module>'}() reduces "
+            "floats in BLAS-internal order — document it with a "
+            "'reduction-order:' comment or hoist it out of the merge path")
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -378,6 +436,7 @@ ALL_RULES: Tuple[type, ...] = (
     FloatAccumulationRule,
     SwallowedExceptionRule,
     MutableDefaultRule,
+    UndocumentedMatmulReductionRule,
 )
 
 RULES_BY_ID: Dict[str, type] = {cls.id: cls for cls in ALL_RULES}
@@ -409,6 +468,7 @@ __all__ = [
     "FloatAccumulationRule",
     "SwallowedExceptionRule",
     "MutableDefaultRule",
+    "UndocumentedMatmulReductionRule",
     "default_rules",
     "rules_for_ids",
 ]

@@ -23,10 +23,12 @@ from repro.bench.experiments import (
     run_darpa_session,
     storm_fault_plan,
 )
+from repro.bench.kernels import BASELINE_MS_BATCH32, run_kernel_bench
 from repro.bench.parallel import (
     merge_trace_artifacts,
     run_darpa_over_fleet_parallel,
 )
+from repro.bench.provenance import build_manifest, manifest_mismatches
 
 __all__ = [
     "BenchCache",
@@ -44,4 +46,8 @@ __all__ = [
     "run_darpa_session",
     "merge_trace_artifacts",
     "run_darpa_over_fleet_parallel",
+    "BASELINE_MS_BATCH32",
+    "run_kernel_bench",
+    "build_manifest",
+    "manifest_mismatches",
 ]

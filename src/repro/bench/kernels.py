@@ -1,0 +1,139 @@
+"""Kernel benchmark: TinyYolo forward across execution modes.
+
+One runner shared by ``python -m repro bench kernels`` and the pytest
+benchmark suite, so the committed ``BENCH_kernels.json`` and the CI
+regression gate always measure the same thing.  Modes:
+
+- ``float_per_image``  — fp32, one GEMM per image (the bit-stable
+  default the serving path ships with);
+- ``float_tiled``      — fp32, images grouped into cache-sized tiles
+  (the fast opt-in; see ``DeployConfig.gemm``);
+- ``int8_tiled``       — calibrated int8 emulation over the tiled
+  executor (exact integer accumulation);
+- ``multicore_tiled_wN`` — the tiled plan fanned out over N worker
+  processes via :class:`repro.vision.nn.parallel.ParallelPlanExecutor`.
+
+Timings are best-of-``rounds`` wall milliseconds (one warmup call per
+mode/batch) through :mod:`repro.wallclock` — the one sanctioned clock.
+The model is the seeded *untrained* TinyYolo: forward cost is
+weight-independent, and skipping training keeps the benchmark cheap
+enough for CI.  Accuracy claims (the Table-IV-style int8 delta) live in
+the pytest benchmarks against a trained model, not here.
+
+The payload is stamped with a provenance manifest
+(:mod:`repro.bench.provenance`); ``repro regress`` refuses to compare
+payloads from different benchmark configurations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.provenance import build_manifest
+from repro.wallclock import monotonic_ms
+
+#: Historical batch-32 reference from the pre-kernel serving path
+#: (BENCH_kernels.json as of the observability PR).  A constant, not a
+#: measurement: it anchors ``speedup_vs_baseline_batch32`` so the
+#: headline number survives payload regeneration on faster machines.
+BASELINE_MS_BATCH32 = 73.195
+
+CORPUS_VERSION = "synthetic-uniform-v1"
+SEED_BASE = 0
+
+
+def _best_of_ms(fn, rounds: int) -> float:
+    """Best-of-N wall milliseconds with one untimed warmup call."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = monotonic_ms()
+        fn()
+        best = min(best, monotonic_ms() - t0)
+    return best
+
+
+def _mode_plans(quant: str, workers: Sequence[int]):
+    """Yield ``(mode_name, DeployConfig)`` for the requested sweep."""
+    from repro.vision.nn import DeployConfig
+
+    if quant not in ("fp32", "int8", "both"):
+        raise ValueError(f"unknown quant sweep {quant!r}")
+    modes = [("float_per_image", DeployConfig())]
+    modes.append(("float_tiled", DeployConfig(gemm="tiled")))
+    if quant in ("int8", "both"):
+        modes.append(("int8_tiled",
+                      DeployConfig(precision="int8", gemm="tiled")))
+    for n in workers:
+        modes.append((f"multicore_tiled_w{n}",
+                      DeployConfig(gemm="tiled", workers=int(n))))
+    return modes
+
+
+def run_kernel_bench(
+    batch_sizes: Tuple[int, ...] = (1, 8, 32),
+    rounds: int = 9,
+    quant: str = "both",
+    workers: Sequence[int] = (2,),
+    seed: int = SEED_BASE,
+    out_path: Optional[str] = None,
+) -> Dict:
+    """Time every execution mode, return (and optionally write) the payload."""
+    from repro.vision import TinyYolo, YoloConfig
+
+    config = YoloConfig()
+    rng = np.random.default_rng(seed)
+    max_batch = max(batch_sizes)
+    # RGB input tensors at the detector's native resolution.
+    x = rng.random((max_batch, 3, config.input_h, config.input_w),
+                   dtype=np.float32)
+    bench_config = {
+        "batch_sizes": list(batch_sizes),
+        "rounds": int(rounds),
+        "quant": quant,
+        "workers": [int(n) for n in workers],
+        "input_shape": list(x.shape[1:]),
+        "seed": int(seed),
+    }
+
+    modes: Dict[str, Dict] = {}
+    for name, deploy in _mode_plans(quant, workers):
+        model = TinyYolo(config, seed=seed, deploy=deploy)
+        plan = model.inference_plan()
+        timings = {}
+        for n in batch_sizes:
+            xb = x[:n]
+            timings[str(n)] = round(_best_of_ms(lambda: plan.forward(xb),
+                                                rounds), 3)
+        plan.close()
+        modes[name] = {"forward_ms": timings}
+
+    top = str(max(batch_sizes))
+    ref = modes["float_per_image"]["forward_ms"][top]
+    for name, record in modes.items():
+        record["speedup_vs_per_image"] = round(
+            ref / record["forward_ms"][top], 3)
+    payload = {
+        "manifest": build_manifest(CORPUS_VERSION, seed, bench_config),
+        "kernel": "tiny_yolo_forward",
+        "input_shape": list(x.shape[1:]),
+        "batch_sizes": list(batch_sizes),
+        "modes": modes,
+    }
+    if 32 in batch_sizes:
+        best_ms = min(record["forward_ms"]["32"] for record in modes.values())
+        payload["baseline_ms_batch32"] = BASELINE_MS_BATCH32
+        payload["speedup_vs_baseline_batch32"] = round(
+            BASELINE_MS_BATCH32 / best_ms, 3)
+    if out_path:
+        with open(out_path, "w") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+    return payload
+
+
+__all__ = ["BASELINE_MS_BATCH32", "CORPUS_VERSION", "SEED_BASE",
+           "run_kernel_bench"]

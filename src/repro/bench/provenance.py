@@ -1,0 +1,107 @@
+"""Provenance manifests for committed benchmark payloads.
+
+A ``BENCH_*.json`` number is only comparable to another run of the
+*same experiment*: same corpus generation, same seed base, same
+benchmark configuration.  Every benchmark writer stamps its payload
+with a ``manifest`` block recording exactly that:
+
+- ``corpus_version`` — version tag of the seeded corpus/workload the
+  benchmark ran against;
+- ``seed_base`` — base RNG seed the run derived its streams from;
+- ``config_hash`` — digest of the benchmark configuration mapping
+  (tolerances, batch sizes, worker counts, ...);
+- ``git_sha`` — the tree the numbers were measured on (recorded for
+  forensics, **excluded** from comparison: every CI run has a new SHA);
+- ``manifest_version`` — schema version of this block itself.
+
+``repro regress`` refuses to diff two payloads whose manifests
+disagree (distinct exit code 3) — a red "regression" between runs of
+different experiments is noise, and a green one is worse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from typing import Dict, List, Mapping, Optional
+
+#: Key under which the manifest block lives in a benchmark payload.
+MANIFEST_KEY = "manifest"
+
+#: Schema version of the manifest block.
+MANIFEST_VERSION = 1
+
+#: Manifest fields that never participate in comparison.
+_COMPARE_EXCLUDED = ("git_sha",)
+
+
+def config_hash(config: Mapping) -> str:
+    """Deterministic short digest of a benchmark configuration mapping."""
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def git_sha() -> str:
+    """Current tree SHA: ``DARPA_GIT_SHA`` env override, then git,
+    then ``"unknown"`` (payloads must be writable outside a checkout)."""
+    override = os.environ.get("DARPA_GIT_SHA")
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def build_manifest(corpus_version: str, seed_base: int,
+                   config: Mapping) -> Dict[str, object]:
+    """Assemble the manifest block a benchmark writer embeds."""
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "corpus_version": corpus_version,
+        "seed_base": int(seed_base),
+        "config_hash": config_hash(config),
+        "git_sha": git_sha(),
+    }
+
+
+def manifest_mismatches(baseline: Optional[Mapping],
+                        fresh: Optional[Mapping]) -> List[str]:
+    """Fields on which two manifests disagree (empty = comparable).
+
+    Both-absent is comparable (legacy payloads predating manifests);
+    one-sided presence is a mismatch.  ``git_sha`` never participates.
+    """
+    if baseline is None and fresh is None:
+        return []
+    if baseline is None or fresh is None:
+        side = "baseline" if baseline is None else "fresh"
+        return [f"{MANIFEST_KEY} missing from {side} payload"]
+    out: List[str] = []
+    keys = sorted(set(baseline) | set(fresh))
+    for key in keys:
+        if key in _COMPARE_EXCLUDED:
+            continue
+        b, f = baseline.get(key), fresh.get(key)
+        if b != f:
+            out.append(f"{key}: baseline={b!r}, fresh={f!r}")
+    return out
+
+
+__all__ = [
+    "MANIFEST_KEY",
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "config_hash",
+    "git_sha",
+    "manifest_mismatches",
+]

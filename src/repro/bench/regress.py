@@ -18,8 +18,17 @@ Usage::
     python -m repro.bench.regress --baseline BENCH_slo.json \
         --fresh /tmp/fresh/BENCH_slo.json [--rule 'rows/*/cpu_pct=rel:0.1']
 
+Payloads carrying a :data:`repro.bench.provenance.MANIFEST_KEY` block
+are compared manifest-first: when the two manifests describe different
+experiments (corpus version, seed base, config hash — ``git_sha`` is
+exempt) the diff is refused outright, because tolerances are
+meaningless across experiments.  ``--ignore-manifest`` overrides the
+refusal; the manifest block itself is always excluded from the
+value diff.
+
 Exit codes: 0 = within tolerance, 1 = regression detected,
-2 = usage error (missing/unreadable file, malformed rule).
+2 = usage error (missing/unreadable file, malformed rule),
+3 = provenance manifest mismatch (payloads are not comparable).
 """
 
 from __future__ import annotations
@@ -30,6 +39,8 @@ import sys
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.provenance import MANIFEST_KEY, manifest_mismatches
 
 #: Tolerance classes for a leaf value: ``rel`` is a fraction of the
 #: baseline magnitude, ``abs_tol`` an absolute slack; a value passes
@@ -173,6 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default=[], metavar="PATTERN=rel:F|abs:F",
                         help="extra tolerance rule (checked before the "
                              "defaults; repeatable)")
+    parser.add_argument("--ignore-manifest", action="store_true",
+                        help="diff the values even when the provenance "
+                             "manifests disagree (exit 3 otherwise)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-violation listing")
     return parser
@@ -192,6 +206,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"regress: cannot read fresh payload {args.fresh}: {exc}",
               file=sys.stderr)
         return 2
+    # Manifest gate first: numbers from different experiments are not
+    # comparable, no matter how tolerant the rules.
+    baseline_manifest = baseline.pop(MANIFEST_KEY, None)
+    fresh_manifest = fresh.pop(MANIFEST_KEY, None)
+    mismatches = manifest_mismatches(baseline_manifest, fresh_manifest)
+    if mismatches and not args.ignore_manifest:
+        print(f"regress: provenance mismatch between {args.baseline} and "
+              f"{args.fresh}; refusing to compare:", file=sys.stderr)
+        for mismatch in mismatches:
+            print(f"  {mismatch}", file=sys.stderr)
+        print("  (pass --ignore-manifest to diff anyway)", file=sys.stderr)
+        return 3
     rules = tuple(args.rule) + DEFAULT_RULES
     violations = compare(baseline, fresh, rules)
     if violations:

@@ -10,6 +10,7 @@ Commands:
 - ``metrics``   — run a traced fleet, emit Prometheus text exposition
 - ``slo``       — evaluate fleet SLOs + burn-rate alerts (CI smoke)
 - ``top``       — terminal latency/health summary of a fleet or trace
+- ``bench``     — run a benchmark suite (``kernels``: forward-pass modes)
 - ``regress``   — gate fresh benchmark output against a baseline
 - ``lint``      — darpalint static analysis (determinism rules DL001-6)
 - ``survey``    — user-study findings (Section III-B)
@@ -349,12 +350,43 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    if args.suite != "kernels":  # argparse choices already guard this
+        print(f"bench: unknown suite {args.suite!r}", file=sys.stderr)
+        return 2
+    from repro.bench.kernels import run_kernel_bench
+
+    workers = [args.workers] if args.workers else []
+    payload = run_kernel_bench(
+        batch_sizes=tuple(args.batch), rounds=args.rounds,
+        quant=args.quant, workers=workers or (2,),
+        seed=args.seed, out_path=args.out)
+    top = str(max(args.batch))
+    print(f"{'mode':<24} {'batch-' + top + ' ms':>12} {'vs per-image':>13}")
+    for name, record in payload["modes"].items():
+        print(f"{name:<24} {record['forward_ms'][top]:>12.3f} "
+              f"{record['speedup_vs_per_image']:>12.2f}x")
+    if "baseline_ms_batch32" in payload:
+        print(f"\nbest batch-32 vs {payload['baseline_ms_batch32']:.1f} ms "
+              f"historical baseline: "
+              f"{payload['speedup_vs_baseline_batch32']:.2f}x")
+    if args.out:
+        print(f"Wrote {args.out}")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_regress(args: argparse.Namespace) -> int:
     from repro.bench.regress import main as regress_main
 
     argv = ["--baseline", args.baseline, "--fresh", args.fresh]
     for rule in args.rule or []:
         argv += ["--rule", rule]
+    if args.ignore_manifest:
+        argv.append("--ignore-manifest")
     return regress_main(argv)
 
 
@@ -450,12 +482,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="summarize an existing span JSONL instead of "
                             "running a fleet")
 
+    p_bench = sub.add_parser(
+        "bench", help="run a benchmark suite and emit its payload")
+    p_bench.add_argument("suite", choices=("kernels",),
+                         help="benchmark suite to run")
+    p_bench.add_argument("--quant", choices=("fp32", "int8", "both"),
+                         default="both",
+                         help="precision sweep (default: both)")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="worker count for the multicore mode "
+                              "(default: 2)")
+    p_bench.add_argument("--batch", type=int, nargs="+", default=[1, 8, 32],
+                         help="batch sizes to time (default: 1 8 32)")
+    p_bench.add_argument("--rounds", type=int, default=9,
+                         help="timing rounds per mode (best-of)")
+    p_bench.add_argument("--out", default=None,
+                         help="write the manifest-stamped payload here")
+
     p_regress = sub.add_parser(
         "regress", help="gate fresh benchmark output against a baseline")
     p_regress.add_argument("--baseline", required=True)
     p_regress.add_argument("--fresh", required=True)
     p_regress.add_argument("--rule", action="append", default=[],
                            metavar="PATTERN=rel:F|abs:F")
+    p_regress.add_argument("--ignore-manifest", action="store_true",
+                           help="diff values even on provenance mismatch")
 
     p_lint = sub.add_parser(
         "lint", help="darpalint: determinism & sim-correctness rules")
@@ -485,6 +536,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "slo": _cmd_slo,
     "top": _cmd_top,
+    "bench": _cmd_bench,
     "regress": _cmd_regress,
     "lint": _cmd_lint,
     "survey": _cmd_survey,

@@ -21,6 +21,7 @@ implements the paper's detection machinery from scratch on NumPy:
 """
 
 from repro.vision.dataset import DetectionDataset, build_detection_dataset
+from repro.vision.nn import DeployConfig
 from repro.vision.yolo import TinyYolo, YoloConfig, YoloTrainer, Detection
 from repro.vision.refine import snap_box_to_edges
 from repro.vision.metrics import (
@@ -42,6 +43,7 @@ __all__ = [
     "SmoothedDetector",
     "attack_recall",
     "craft_suppression_patch",
+    "DeployConfig",
     "DetectionDataset",
     "build_detection_dataset",
     "TinyYolo",

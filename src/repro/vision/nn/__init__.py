@@ -30,7 +30,18 @@ from repro.vision.nn.losses import (
 )
 from repro.vision.nn.optim import SGD, Adam
 from repro.vision.nn.gradcheck import numerical_gradient, check_layer_gradients
-from repro.vision.nn.infer import InferencePlan, fold_batchnorm, fold_conv_bn
+from repro.vision.nn.infer import (
+    DeployConfig,
+    InferencePlan,
+    fold_batchnorm,
+    fold_conv_bn,
+)
+from repro.vision.nn.kernels import (
+    int8_gemm,
+    quantize_symmetric,
+    tiled_matmul,
+)
+from repro.vision.nn.parallel import ParallelPlanExecutor
 
 __all__ = [
     "BatchNorm2D",
@@ -53,7 +64,12 @@ __all__ = [
     "Adam",
     "numerical_gradient",
     "check_layer_gradients",
+    "DeployConfig",
     "InferencePlan",
+    "ParallelPlanExecutor",
     "fold_batchnorm",
     "fold_conv_bn",
+    "int8_gemm",
+    "quantize_symmetric",
+    "tiled_matmul",
 ]

@@ -13,29 +13,56 @@ standard mobile-engine optimizations:
    GEMM output of a convolution *is* the next layer's NHWC activation
    (no transposes between layers), im2col patch rows become a few
    contiguous memcpy runs instead of per-element gathers, and 1x1
-   convolutions skip im2col entirely.  Weights are pre-reordered to
-   (kh*kw*c, oc) at compile time;
-3. **Operator fusion** — each Conv→LeakyReLU→MaxPool run is one step:
-   the activation is applied in place on the GEMM scratch and the pool
-   reduces it with pairwise maxima, so the big pre-pool tensor is never
-   rematerialized;
+   convolutions skip im2col entirely (the activation itself is the
+   GEMM operand).  Weights are pre-reordered to (kh*kw*c, oc) at
+   compile time;
+3. **Operator fusion with pool-first reordering** — each
+   Conv→LeakyReLU→MaxPool run is one step, and the max-pool is applied
+   *directly to the GEMM output*, before the bias add and activation.
+   Both reorderings are bitwise-exact: adding a per-channel bias is a
+   monotone translation within each pooling window
+   (``fl(max_i(a_i) + b) == max_i(fl(a_i + b))`` since ``x -> fl(x+b)``
+   is non-decreasing), and ``leaky(x) = max(x, s*x)`` with
+   ``s in [0, 1]`` is monotone non-decreasing, so it too commutes with
+   the windowed max.  The payoff: bias/activation run over the pooled
+   tensor — 4x fewer elements for a 2x2 pool;
 4. **Buffer reuse** — the padded input, im2col matrix, GEMM output and
    activation temporary of each step are preallocated once per
    (step, input-shape) and overwritten on every call;
-5. **Batched execution** — a plan forward over an ``(N, C, H, W)``
-   stack runs one im2col per layer for all N images, instead of N
-   size-1 forwards, which is where dataset-wide evaluation loops win
-   their wall-clock.
+5. **Batched, tiled execution** — a plan forward over an
+   ``(N, C, H, W)`` stack runs one im2col per layer for all N images,
+   and issues the convolution GEMM over *groups* of
+   ``DeployConfig.images_per_tile`` images so each call's working set
+   stays cache-resident instead of streaming the full batch;
+6. **Calibrated int8 execution** (``DeployConfig(precision="int8")``)
+   — weights carry per-output-channel symmetric scales, activations a
+   per-step scale calibrated from a seeded corpus
+   (:meth:`InferencePlan.calibrate_int8`), and each conv step runs an
+   exact int8 x int8 -> int32 GEMM (integer-valued float32 operands,
+   see :mod:`repro.vision.nn.kernels`) followed by a *single*
+   requantize multiply fused with the bias add.
 
-The plan is numerically deterministic: for a given weight state, the
-per-image outputs of a batched forward are bit-identical to the outputs
-of the same plan run image-by-image.  The GEMM of each convolution is
-issued per image over fixed-shape slices of the shared scratch, because
-BLAS kernel selection depends on the row count — a single tall GEMM
-over all n*oh*ow rows can round differently from the batch-1 call.
-Everything else in a step is elementwise or a windowed max, neither of
-which depends on the batch dimension.  The equivalence tests assert
-this bit-identity.
+**Determinism.**  BLAS results depend on call shape: ``matmul`` over M
+rows is *not* bit-identical to the same rows split across several
+calls for every (M, K, N) — measured on this platform it holds for the
+TinyYolo step shapes but fails for e.g. ``K=72, N=8``.  The plan
+therefore never lets scheduling choose call shapes.  Each GEMM is
+issued over *groups* of images whose composition is a pure function of
+the global image index (``gemm="per_image"`` is group size 1;
+``gemm="tiled"`` uses ``images_per_tile``), so a given batch produces
+the same bytes on every run and — because the parallel executor chunks
+along group boundaries — for every worker count.  ``per_image``
+additionally makes a batched forward bit-identical to running the
+images one at a time (each image's GEMM has the same shape either
+way); ``tiled`` trades that cross-batch-composition identity for
+speed (outputs agree to float tolerance only).  The int8 path is
+strongest: its accumulations are exact integer arithmetic in float32,
+which is associative, so ANY tiling of the int8 GEMM — including
+re-batching — is bit-identical by construction.
+``DeployConfig(workers=N)`` fans a batch out across worker processes
+along group boundaries (see :mod:`repro.vision.nn.parallel`) with the
+same merged-by-global-index scheme as :mod:`repro.bench.parallel` —
+output bytes never depend on the worker count.
 """
 
 from __future__ import annotations
@@ -47,6 +74,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from repro.vision.nn.kernels import (
+    int8_accumulation_exact,
+    int8_gemm,
+    INT8_EXACT_MAX_K,
+    quantize_symmetric,
+    quantize_to_float,
+)
 from repro.vision.nn.layers import (
     BatchNorm2D,
     Conv2D,
@@ -55,6 +89,56 @@ from repro.vision.nn.layers import (
     MaxPool2D,
     Parameter,
 )
+
+#: Upper bound on ``DeployConfig.images_per_tile``: past this the
+#: grouped GEMM streams its working set instead of staying
+#: cache-resident, defeating the point of tiling.
+MAX_IMAGES_PER_TILE = 16
+
+
+@dataclass(frozen=True)
+class DeployConfig:
+    """How an :class:`InferencePlan` executes — precision, tiling,
+    calibration and parallelism.
+
+    This is the deployment knob the serving path plumbs end-to-end:
+    :meth:`repro.vision.yolo.TinyYolo.set_deploy` rebuilds the model's
+    plan with a new config, so ``detect_batch`` runs whatever precision
+    and executor the config names.
+    """
+
+    #: "fp32" (default) or "int8" (calibrated, exact-GEMM execution).
+    precision: str = "fp32"
+    #: "per_image" (default) issues one GEMM per image, which keeps a
+    #: batched forward bit-identical to per-image execution on every
+    #: shape; "tiled" groups ``images_per_tile`` images per GEMM call —
+    #: faster, still deterministic and worker-count-invariant, but
+    #: bit-identical across batch compositions only in int8 precision.
+    gemm: str = "per_image"
+    images_per_tile: int = 8
+    #: Synthetic calibration corpus size/seed used when int8 inference
+    #: starts without an explicit :meth:`InferencePlan.calibrate_int8`
+    #: call; real activations (a slice of the training split) give
+    #: tighter ranges and are preferred.
+    calibration_images: int = 8
+    calibration_seed: int = 0
+    #: Worker processes for data-parallel batch execution (1 = inline).
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.precision not in ("fp32", "int8"):
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if self.gemm not in ("tiled", "per_image"):
+            raise ValueError(f"unknown gemm mode {self.gemm!r}")
+        if not 1 <= self.images_per_tile <= MAX_IMAGES_PER_TILE:
+            raise ValueError(
+                f"images_per_tile must be in [1, {MAX_IMAGES_PER_TILE}] "
+                f"(the pinned bit-identity envelope), "
+                f"got {self.images_per_tile}")
+        if self.calibration_images < 1:
+            raise ValueError("calibration_images must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 def fold_conv_bn(conv: Conv2D, bn: BatchNorm2D) -> Conv2D:
@@ -112,6 +196,18 @@ class _ConvStep:
 
 
 @dataclass(eq=False)
+class _QuantStep:
+    """Calibrated int8 tables for one conv step."""
+
+    #: int8 weight codes stored as integer-valued float32, (kh*kw*c, oc)
+    wq: np.ndarray = field(repr=False)
+    #: per-step activation scale (absmax / 127 over the calibration set)
+    x_scale: np.float32 = np.float32(1.0)
+    #: fused requantize multiplier, (oc,): ``x_scale * w_scale[oc]``
+    requant: np.ndarray = field(default=None, repr=False)
+
+
+@dataclass(eq=False)
 class _LayerStep:
     """A pass-through step for any layer the compiler does not fuse.
 
@@ -132,12 +228,20 @@ class InferencePlan:
     rebuilt after the source model trains or loads new weights —
     :class:`TinyYolo` does this automatically.
 
+    ``deploy`` selects the execution mode (see :class:`DeployConfig`);
+    the default is the tiled float32 path.  Plans pickle cleanly —
+    scratch buffers, the profiler and any worker pool are dropped and
+    rebuilt lazily — which is what lets the parallel executor fork the
+    plan into worker processes.
+
     The returned array is freshly allocated per call and safe to keep.
     """
 
-    def __init__(self, layers: Sequence[Layer], fold_bn: bool = True):
+    def __init__(self, layers: Sequence[Layer], fold_bn: bool = True,
+                 deploy: Optional[DeployConfig] = None):
         self.layers: List[Layer] = (fold_batchnorm(layers) if fold_bn
                                     else list(layers))
+        self.deploy = deploy or DeployConfig()
         #: Optional :class:`repro.core.observability.PlanProfiler` (or
         #: anything with ``start_forward(batch)`` / ``record_step(label,
         #: macs)``).  When attached, every forward reports its per-step
@@ -146,12 +250,18 @@ class InferencePlan:
         #: (the default) costs one predicate per forward.
         self.profiler = None
         self._steps = self._compile(self.layers)
+        #: idx -> calibrated int8 tables; None until calibration.
+        self._quant: Optional[Dict[int, _QuantStep]] = None
+        #: live only during calibration: idx -> input absmax so far.
+        self._calib_absmax: Optional[Dict[int, float]] = None
+        self._executor = None
         # Per-(step, input-shape) scratch buffers, all NHWC.
         self._pads: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
         self._cols: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
         self._outs: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
         self._tmps: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
         self._pools: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._qins: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
 
     @staticmethod
     def _compile(layers: Sequence[Layer]) -> List[object]:
@@ -183,8 +293,101 @@ class InferencePlan:
             i = j
         return steps
 
+    # -- pickling (the parallel executor forks plans into workers) ------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in ("_pads", "_cols", "_outs", "_tmps", "_pools", "_qins"):
+            state[key] = {}
+        state["profiler"] = None
+        state["_executor"] = None
+        state["_calib_absmax"] = None
+        return state
+
+    # -- calibration ----------------------------------------------------
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._quant is not None
+
+    def calibrate_int8(self, images: np.ndarray) -> None:
+        """Build the int8 tables from a calibration batch (N, C, H, W).
+
+        One float forward over the batch records each conv step's input
+        absmax; activation scales are ``absmax / 127`` (per-tensor,
+        symmetric) and weight scales are per-output-channel.  The
+        requantize multiplier ``x_scale * w_scale[oc]`` is fused so the
+        int8 step costs a single extra multiply over the pooled output.
+        """
+        if self.deploy.precision != "int8":
+            raise ValueError("calibrate_int8 requires precision='int8'")
+        # Forked workers snapshot the plan (tables included) when the
+        # pool starts; recalibration must tear the pool down so no
+        # worker can keep serving stale tables.
+        self.close()
+        self._quant = None
+        self._calib_absmax = {}
+        try:
+            self._forward_sequential(np.asarray(images, dtype=np.float32))
+        finally:
+            absmax, self._calib_absmax = self._calib_absmax, None
+        quant: Dict[int, _QuantStep] = {}
+        for step in self._steps:
+            if not isinstance(step, _ConvStep):
+                continue
+            kkc = step.wt.shape[0]
+            if not int8_accumulation_exact(kkc):
+                raise ValueError(
+                    f"conv step {step.idx} has patch depth {kkc} > "
+                    f"{INT8_EXACT_MAX_K}: int8 accumulation would not be "
+                    "exact in float32")
+            codes, w_scale = quantize_symmetric(step.wt, axis=1)
+            x_abs = float(absmax.get(step.idx, 0.0))
+            x_scale = np.float32(x_abs / 127.0 if x_abs > 0.0 else 1.0)
+            requant = (x_scale * np.atleast_1d(
+                np.asarray(w_scale, dtype=np.float32))).astype(np.float32)
+            quant[step.idx] = _QuantStep(wq=codes.astype(np.float32),
+                                         x_scale=x_scale, requant=requant)
+        self._quant = quant
+
+    def _auto_calibrate(self, x_shape: Tuple[int, ...]) -> None:
+        """Calibrate on a seeded synthetic corpus shaped like the input.
+
+        Deterministic per (seed, shape) so every process — including
+        forked workers — derives identical tables; explicit
+        :meth:`calibrate_int8` with real activations is preferred.
+        """
+        _, c, h, w = x_shape
+        rng = np.random.default_rng(self.deploy.calibration_seed)
+        corpus = rng.random((self.deploy.calibration_images, c, h, w),
+                            dtype=np.float32)
+        self.calibrate_int8(corpus)
+
+    # -- execution ------------------------------------------------------
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the stack over an (N, C, H, W) batch; returns NCHW."""
+        if self.deploy.precision == "int8" and self._quant is None:
+            self._auto_calibrate(x.shape)
+        if self.deploy.workers > 1 and x.shape[0] > 1:
+            if self._executor is None:
+                from repro.vision.nn.parallel import ParallelPlanExecutor
+                self._executor = ParallelPlanExecutor(
+                    self, n_workers=self.deploy.workers)
+            self._record_parallel_profile(x)
+            return self._executor.forward(x)
+        return self._forward_sequential(x)
+
+    __call__ = forward
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def _forward_sequential(self, x: np.ndarray) -> np.ndarray:
+        """The in-process executor (workers run exactly this path)."""
         prof = self.profiler
         if prof is not None:
             prof.start_forward(batch=x.shape[0])
@@ -201,7 +404,35 @@ class InferencePlan:
                                      int(h.size))
         return np.ascontiguousarray(h.transpose(0, 3, 1, 2))
 
-    __call__ = forward
+    def _record_parallel_profile(self, x: np.ndarray) -> None:
+        """Per-op attribution for a fanned-out forward.
+
+        Workers drop the profiler at pickling time, so the parent
+        records the (static, shape-derived) MAC counts itself — the
+        same labels and totals the sequential path would record.  Shape
+        propagation stops at the first pass-through layer, whose output
+        geometry only execution knows.
+        """
+        prof = self.profiler
+        if prof is None:
+            return
+        prof.start_forward(batch=x.shape[0])
+        n, c, h, w = x.shape
+        for step in self._steps:
+            if not isinstance(step, _ConvStep):
+                return
+            conv = step.conv
+            k, s, p = conv.kernel, conv.stride, conv.pad
+            oh = (h + 2 * p - k) // s + 1
+            ow = (w + 2 * p - k) // s + 1
+            oc = step.wt.shape[1]
+            prof.record_step(f"conv{step.idx}", n * oh * ow * k * k * c * oc)
+            if self._quant is not None:
+                prof.record_step(f"quant{step.idx}", n * h * w * c)
+            h, w, c = oh, ow, oc
+            if step.pool:
+                h //= step.pool
+                w //= step.pool
 
     # -- internals ------------------------------------------------------
 
@@ -215,75 +446,132 @@ class InferencePlan:
         return buf
 
     def _conv_forward(self, step: _ConvStep, x: np.ndarray) -> np.ndarray:
-        """One fused step over an NHWC activation; returns NHWC."""
+        """One fused step over an NHWC activation; returns NHWC.
+
+        The step is executed group by group: each group of
+        ``images_per_tile`` images (1 in ``per_image`` mode) runs
+        im2col -> GEMM -> pool back to back through *group-sized*
+        scratch buffers, so the patch matrix and GEMM output stay
+        cache-resident instead of streaming a full-batch im2col through
+        memory.  Only the pooled result (1/ps^2 of the conv output) is
+        written to the batch-sized buffer.  The bias/requantize add and
+        the activation run once over that pooled tensor — both commute
+        bitwise with the windowed max (per-channel affine with positive
+        scale and ``leaky(x) = max(x, s*x)``, ``s in [0, 1]``, are
+        monotone within each pooling window), which is what makes the
+        pool-first ordering safe.
+        """
         conv = step.conv
         n, h, w, c = x.shape
         k, s, p = conv.kernel, conv.stride, conv.pad
         oh = (h + 2 * p - k) // s + 1
         ow = (w + 2 * p - k) // s + 1
         oc = step.wt.shape[1]
+        ps = step.pool or 1
+        if oh % ps or ow % ps:
+            raise ValueError(
+                f"input {oh}x{ow} not divisible by pool size {ps}")
+        fh, fw = oh // ps, ow // ps
         if self.profiler is not None:
             # MACs of the (pre-pool) GEMM — the step's true arithmetic.
             self.profiler.record_step(f"conv{step.idx}",
                                       n * oh * ow * k * k * c * oc)
+        if self._calib_absmax is not None:
+            prev = self._calib_absmax.get(step.idx, 0.0)
+            self._calib_absmax[step.idx] = max(prev,
+                                               float(np.max(np.abs(x))))
         key = (step.idx, x.shape)
-        if k == 1 and s == 1 and p == 0:
-            cols = x.reshape(n * h * w, c)  # 1x1 conv: patches are rows
+        quant = (self._quant.get(step.idx)
+                 if self._quant is not None else None)
+        if quant is not None:
+            if self.profiler is not None:
+                self.profiler.record_step(f"quant{step.idx}", int(x.size))
+            xq = self._buffer(self._qins, key, x.shape)
+            x = quantize_to_float(x, quant.x_scale, out=xq)
+            wt = quant.wq
         else:
-            if p:
-                # Zero-filled once; the border stays zero, only the
-                # interior is rewritten per call.
-                padded = self._buffer(self._pads, key,
-                                      (n, h + 2 * p, w + 2 * p, c), zero=True)
-                padded[:, p:p + h, p:p + w, :] = x
-            else:
-                padded = x
-            sn, sh, sw, sc = padded.strides
-            windows = as_strided(
-                padded,
-                shape=(n, oh, ow, k, k, c),
-                strides=(sn, sh * s, sw * s, sh, sw, sc),
-            )
-            cols = self._buffer(self._cols, key, (n * oh * ow, k * k * c))
-            # Each patch row is k contiguous runs of k*c floats — the
-            # whole copy is memcpy-shaped, unlike the per-element
-            # gathers an NCHW layout would force.
-            np.copyto(cols.reshape(n, oh, ow, k, k, c), windows)
-        out = self._buffer(self._outs, key, (n * oh * ow, oc))
-        # One GEMM call per image, each over a fixed-shape (oh*ow, kkc)
-        # slice of the shared scratch.  BLAS kernel dispatch depends on
-        # the M dimension, so a single (n*oh*ow)-row GEMM is not
-        # guaranteed to reproduce the batch-1 rows bit-for-bit; equal
-        # per-call shapes are what make batched and per-image inference
-        # bit-identical.
+            wt = step.wt
+        final = self._buffer(self._pools, key, (n, fh, fw, oc))
+        # Group composition is a pure function of the global image
+        # index, never of scheduling: BLAS results depend on the call's
+        # M dimension, so this is what makes execution invariant to
+        # worker count and, for group size 1, to batch composition.
+        g = (1 if self.deploy.gemm == "per_image"
+             else min(self.deploy.images_per_tile, n))
         rows = oh * ow
-        for j in range(n):
-            np.matmul(cols[j * rows:(j + 1) * rows], step.wt,
-                      out=out[j * rows:(j + 1) * rows])
-        if conv.bias is not None:
-            out += conv.bias.value
-        if step.slope is not None:
-            # leaky(x) == max(x, slope*x) for slope in [0, 1]; two
-            # passes over the contiguous scratch, no allocation.
-            tmp = self._buffer(self._tmps, key, out.shape)
-            np.multiply(out, step.slope, out=tmp)
-            np.maximum(out, tmp, out=out)
-        nhwc = out.reshape(n, oh, ow, oc)
-        if step.pool is None:
-            return nhwc
-        ps = step.pool
-        if oh % ps or ow % ps:
-            raise ValueError(
-                f"input {oh}x{ow} not divisible by pool size {ps}")
-        windows = nhwc.reshape(n, oh // ps, ps, ow // ps, ps, oc)
-        pooled = self._buffer(self._pools, key,
-                              (n, oh // ps, ow // ps, oc))
-        # Pairwise maxima over the ps*ps window offsets: each operand
-        # is a strided view whose innermost oc run is contiguous.
-        np.copyto(pooled, windows[:, :, 0, :, 0])
-        for dy in range(ps):
-            for dx in range(ps):
-                if dy == 0 and dx == 0:
-                    continue
-                np.maximum(pooled, windows[:, :, dy, :, dx], out=pooled)
-        return pooled
+        one_by_one = k == 1 and s == 1 and p == 0
+        if one_by_one:
+            cols_all = x.reshape(n * h * w, c)  # 1x1: patches are rows
+        for lo in range(0, n, g):
+            hi = min(lo + g, n)
+            gn = hi - lo
+            if one_by_one:
+                cols = cols_all[lo * rows:hi * rows]
+            else:
+                if p:
+                    # Zero-filled once; the border stays zero, only the
+                    # interior is rewritten per group.
+                    padded = self._buffer(
+                        self._pads, key, (g, h + 2 * p, w + 2 * p, c),
+                        zero=True)
+                    padded[:gn, p:p + h, p:p + w, :] = x[lo:hi]
+                else:
+                    padded = x[lo:hi]
+                sn, sh, sw, sc = padded.strides
+                windows = as_strided(
+                    padded[:gn],
+                    shape=(gn, oh, ow, k, k, c),
+                    strides=(sn, sh * s, sw * s, sh, sw, sc),
+                )
+                cols = self._buffer(self._cols, key,
+                                    (g * rows, k * k * c))[:gn * rows]
+                # Each patch row is k contiguous runs of k*c floats —
+                # the whole copy is memcpy-shaped, unlike the
+                # per-element gathers an NCHW layout would force.
+                np.copyto(cols.reshape(gn, oh, ow, k, k, c), windows)
+            out = self._buffer(self._outs, key, (g * rows, oc))[:gn * rows]
+            if quant is not None:
+                # Exact integer accumulation is associative: any row
+                # tiling of the int8 GEMM is bit-identical by
+                # construction.
+                int8_gemm(cols, wt, out=out)
+            else:
+                # One BLAS call per group: float results depend on the
+                # call's M dimension, so the float path never subdivides
+                # a group (the int8 branch may — exact arithmetic is
+                # immune).
+                np.matmul(cols, wt, out=out)
+            nhwc = out.reshape(gn, oh, ow, oc)
+            if step.pool is not None:
+                wnd = nhwc.reshape(gn, fh, ps, fw, ps, oc)
+                chunk = final[lo:hi]
+                # Pairwise maxima over the ps*ps window offsets: each
+                # operand is a strided view whose innermost oc run is
+                # contiguous.
+                np.copyto(chunk, wnd[:, :, 0, :, 0])
+                for dy in range(ps):
+                    for dx in range(ps):
+                        if dy == 0 and dx == 0:
+                            continue
+                        np.maximum(chunk, wnd[:, :, dy, :, dx],
+                                   out=chunk)
+            else:
+                chunk = final[lo:hi]
+                np.copyto(chunk, nhwc)
+            # Epilogue per group, while the pooled chunk is still
+            # cache-hot.  Elementwise, so chunking cannot change bits.
+            if quant is not None:
+                # The single requantize step: int32-exact accumulators
+                # back to the float activation domain, fused with the
+                # bias add below.
+                np.multiply(chunk, quant.requant, out=chunk)
+            if conv.bias is not None:
+                chunk += conv.bias.value
+            if step.slope is not None:
+                # leaky(x) == max(x, slope*x) for slope in [0, 1]; two
+                # passes over the scratch, no allocation.
+                tmp = self._buffer(self._tmps, key,
+                                   (g, fh, fw, oc))[:gn]
+                np.multiply(chunk, step.slope, out=tmp)
+                np.maximum(chunk, tmp, out=chunk)
+        return final

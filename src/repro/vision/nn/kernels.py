@@ -1,0 +1,148 @@
+"""Low-level GEMM and quantization kernels for the inference plan.
+
+Three kernel families live here, all built on the same determinism
+contract as the rest of the serving path — outputs are a pure function
+of the inputs, never of scheduling, batch composition or worker count:
+
+1. **Cache-tiled matmul** — :func:`tiled_matmul` partitions the *M*
+   (row) dimension of ``a @ b`` into fixed-size tiles so each tile's
+   working set (``tile_rows * k`` inputs plus ``tile_rows * n``
+   outputs) fits in L2 instead of streaming the whole activation
+   through cache.  The K dimension is never split: every output
+   element is produced by exactly one BLAS dot product, so there is no
+   cross-tile reduction whose order could perturb a bit.  Tiling only
+   partitions *independent* output rows.
+
+2. **Symmetric quantization** — :func:`quantize_symmetric` maps a
+   float tensor to int8 codes with a per-tensor or per-channel scale
+   (``scale = absmax / 127``), the scheme mobile engines use for conv
+   weights; :func:`quantize_to_float` emits the codes directly as
+   *integer-valued float32*, the operand format of the exact int8 GEMM
+   below.
+
+3. **Exact int8 GEMM** — :func:`int8_gemm` multiplies two
+   integer-valued float32 matrices with ordinary sgemm.  Every product
+   is bounded by ``127 * 127`` and every partial sum by
+   ``k * 127**2``; as long as ``k <= INT8_EXACT_MAX_K`` those sums
+   stay below ``2**24`` and are therefore *exactly representable* in
+   float32.  Exact integer arithmetic is associative, so the result is
+   bit-identical for ANY summation order the BLAS picks — unlike the
+   float path, int8 accumulation is deterministic by construction, not
+   by pinned call shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Largest inner dimension for which int8 x int8 partial sums are
+#: exactly representable in float32: ``k * 127**2 < 2**24``.
+INT8_EXACT_MAX_K: int = (1 << 24) // (127 * 127)  # = 1040
+
+#: Default row-tile height for :func:`tiled_matmul`.  Sized so a
+#: ``2048 x 432`` float32 input tile (~3.4 MB with its output) sits in
+#: a typical 1-4 MB L2; measured fastest on the TinyYolo step shapes.
+DEFAULT_TILE_ROWS: int = 2048
+
+
+def tiled_matmul(a: np.ndarray, b: np.ndarray,
+                 out: Optional[np.ndarray] = None,
+                 tile_rows: int = DEFAULT_TILE_ROWS) -> np.ndarray:
+    """``a @ b`` with the row dimension processed in L2-sized tiles.
+
+    ``a`` is ``(m, k)``, ``b`` is ``(k, n)``; rows are independent, so
+    the tile loop carries no reduction state between iterations and the
+    K dimension is reduced inside a single BLAS call per tile.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"bad matmul shapes {a.shape} x {b.shape}")
+    if tile_rows < 1:
+        raise ValueError("tile_rows must be >= 1")
+    m = a.shape[0]
+    if out is None:
+        out = np.empty((m, b.shape[1]), dtype=np.result_type(a, b))
+    for lo in range(0, m, tile_rows):
+        hi = min(lo + tile_rows, m)
+        np.matmul(a[lo:hi], b, out=out[lo:hi])
+    return out
+
+
+def quantize_symmetric(array: np.ndarray,
+                       axis: Optional[int] = None
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric int8 quantization; returns ``(codes, scale)``.
+
+    ``axis=None`` computes one per-tensor scale; an integer axis keeps
+    that axis and reduces over all others (per-output-channel scales
+    for conv weights).  The scale is ``absmax / 127`` with zero-range
+    slices mapped to scale 1.0 (their codes are all zero anyway), so
+    dequantization never divides by zero.
+    """
+    arr = np.asarray(array, dtype=np.float32)
+    if axis is None:
+        absmax = np.float32(np.max(np.abs(arr))) if arr.size else np.float32(0)
+        scale = np.where(absmax > 0, absmax / np.float32(127.0),
+                         np.float32(1.0)).astype(np.float32)
+    else:
+        reduce_axes = tuple(i for i in range(arr.ndim) if i != axis % arr.ndim)
+        absmax = np.max(np.abs(arr), axis=reduce_axes)
+        scale = np.where(absmax > 0, absmax / np.float32(127.0),
+                         np.float32(1.0)).astype(np.float32)
+        shape = [1] * arr.ndim
+        shape[axis % arr.ndim] = -1
+        scale = scale.reshape(shape)
+    codes = np.clip(np.rint(arr / scale), -127, 127).astype(np.int8)
+    return codes, np.squeeze(scale) if axis is not None else scale
+
+
+def quantize_to_float(array: np.ndarray, scale: np.ndarray,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Quantize to int8 codes stored as float32 (the int8 GEMM operand).
+
+    ``out = clip(rint(array / scale), -127, 127)`` as float32, fused
+    into the output buffer when one is supplied.
+    """
+    if out is None:
+        out = np.empty(array.shape, dtype=np.float32)
+    np.divide(array, scale, out=out)
+    np.rint(out, out=out)
+    np.clip(out, -127.0, 127.0, out=out)
+    return out
+
+
+def int8_accumulation_exact(k: int) -> bool:
+    """True when a k-deep int8 dot product is exact in float32."""
+    return k <= INT8_EXACT_MAX_K
+
+
+def int8_gemm(qa: np.ndarray, qb: np.ndarray,
+              out: Optional[np.ndarray] = None,
+              tile_rows: int = DEFAULT_TILE_ROWS) -> np.ndarray:
+    """Exact int8 x int8 -> int32 GEMM on integer-valued float32 operands.
+
+    Both operands must hold values in ``[-127, 127]``; the inner
+    dimension must satisfy :func:`int8_accumulation_exact` so every
+    partial sum stays below ``2**24`` and float32 accumulation is
+    exact (hence order-independent and safe to tile arbitrarily).
+    The result holds exact integers in float32, ready for a single
+    requantize multiply.
+    """
+    k = qa.shape[1]
+    if not int8_accumulation_exact(k):
+        raise ValueError(
+            f"inner dimension {k} exceeds INT8_EXACT_MAX_K="
+            f"{INT8_EXACT_MAX_K}; float32 accumulation would round")
+    return tiled_matmul(qa, qb, out=out, tile_rows=tile_rows)
+
+
+__all__ = [
+    "DEFAULT_TILE_ROWS",
+    "INT8_EXACT_MAX_K",
+    "int8_accumulation_exact",
+    "int8_gemm",
+    "quantize_symmetric",
+    "quantize_to_float",
+    "tiled_matmul",
+]

@@ -1,0 +1,121 @@
+"""Data-parallel batch execution for :class:`InferencePlan`.
+
+A batched plan forward is embarrassingly parallel across images, but
+naive chunking would change the answer: the float conv GEMMs are
+issued over *groups* of images, and BLAS results depend on the call's
+M dimension, so a worker split that changed group composition would
+change bits.  The executor therefore reuses the shard-invariant scheme
+of :mod:`repro.bench.parallel`:
+
+1. **Group-aligned contiguous chunks** — the batch is split on group
+   boundaries (``DeployConfig.images_per_tile`` images per group, 1 in
+   ``per_image`` mode), so every group is composed of exactly the same
+   images — and its GEMM of exactly the same operands — no matter how
+   many workers run or which worker owns it.
+2. **Sequential replay per worker** — each worker runs the plain
+   in-process executor (:meth:`InferencePlan._forward_sequential`)
+   over its chunk; there is no worker-local state that could leak into
+   the output.
+3. **Merge by global index** — chunk outputs are concatenated in
+   chunk order (a fixed, left-leaning reduction tree).  Concatenation
+   performs no arithmetic, so the merge is exact by construction; the
+   fixed order matters only for buffer layout, and together with (1)
+   and (2) it makes the merged batch byte-identical to sequential
+   execution for ANY worker count — which the equivalence tests assert
+   across 1/2/4 workers.
+
+Workers are forked where the platform allows it (the compiled plan —
+folded weights plus any int8 tables — is then inherited copy-on-write);
+elsewhere the plan travels through its reduced pickle, which drops
+scratch buffers, the profiler and the parent's own executor.  Int8
+calibration must happen in the parent *before* the pool exists;
+:meth:`InferencePlan.forward` auto-calibrates first and
+:meth:`InferencePlan.calibrate_int8` invalidates any live pool, so
+workers can never observe stale tables.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Per-worker compiled plan, installed once by the pool initializer so
+#: repeated forwards do not re-ship the weights.
+_WORKER_PLAN = None
+
+
+def _init_worker(plan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _run_chunk(chunk: np.ndarray) -> np.ndarray:
+    """Worker entry: run one contiguous image chunk sequentially."""
+    return _WORKER_PLAN._forward_sequential(chunk)
+
+
+def _pool_context():
+    """Prefer fork (cheap, copy-on-write weights); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+class ParallelPlanExecutor:
+    """Fan a plan's batch forward out across worker processes.
+
+    Built lazily by :meth:`InferencePlan.forward` when
+    ``DeployConfig.workers > 1``; the pool persists across calls until
+    :meth:`close`.  Single-chunk batches run inline in the parent — no
+    pool, no pickling.
+    """
+
+    def __init__(self, plan, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._plan = plan
+        self._n_workers = n_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def chunk_bounds(self, n: int) -> List[Tuple[int, int]]:
+        """Contiguous, group-aligned (lo, hi) image ranges for a batch.
+
+        Whole GEMM groups are dealt to workers as evenly as possible
+        (the same rounding split as ``repro.bench.parallel``); the
+        bounds are a pure function of (batch size, deploy config) —
+        never of worker identity or scheduling.
+        """
+        deploy = self._plan.deploy
+        g = 1 if deploy.gemm == "per_image" else deploy.images_per_tile
+        n_groups = -(-n // g)
+        shards = max(1, min(self._n_workers, n_groups))
+        bounds = [round(i * n_groups / shards) for i in range(shards + 1)]
+        return [(lo * g, min(hi * g, n))
+                for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        chunks = self.chunk_bounds(x.shape[0])
+        if len(chunks) <= 1:
+            return self._plan._forward_sequential(x)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=_pool_context(),
+                initializer=_init_worker, initargs=(self._plan,))
+        futures = [self._pool.submit(_run_chunk, x[lo:hi])
+                   for lo, hi in chunks]
+        # Merge by global index: a fixed, left-leaning concatenation
+        # tree.  No arithmetic happens here, so the merged bytes equal
+        # the sequential output whenever every chunk's bytes do.
+        return np.concatenate([f.result() for f in futures], axis=0)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+__all__ = ["ParallelPlanExecutor"]

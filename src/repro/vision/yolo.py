@@ -34,6 +34,7 @@ from repro.vision.nn import (
     Adam,
     BatchNorm2D,
     Conv2D,
+    DeployConfig,
     InferencePlan,
     LeakyReLU,
     MaxPool2D,
@@ -83,8 +84,10 @@ class YoloConfig:
 class TinyYolo:
     """The detector: backbone + head, encode/decode, screen-space API."""
 
-    def __init__(self, config: Optional[YoloConfig] = None, seed: int = 0):
+    def __init__(self, config: Optional[YoloConfig] = None, seed: int = 0,
+                 deploy: Optional[DeployConfig] = None):
         self.config = config or YoloConfig()
+        self.deploy = deploy or DeployConfig()
         rng = np.random.default_rng(seed)
         c = self.config.channels
         layers = []
@@ -115,12 +118,32 @@ class TinyYolo:
     def inference_plan(self) -> InferencePlan:
         """The compiled serving path: BN folded, buffers reused.
 
-        Built lazily and invalidated whenever the model trains or loads
-        new weights, so callers never see stale weights.
+        Built lazily (honoring :attr:`deploy`) and invalidated whenever
+        the model trains or loads new weights, so callers never see
+        stale weights.
         """
         if self._plan is None:
-            self._plan = InferencePlan([*self.backbone.layers, self.head])
+            self._plan = InferencePlan([*self.backbone.layers, self.head],
+                                       deploy=self.deploy)
         return self._plan
+
+    def set_deploy(self, deploy: DeployConfig,
+                   calibration: Optional[np.ndarray] = None) -> None:
+        """Switch the serving mode (precision/tiling/workers).
+
+        Rebuilds the plan so ``detect_batch``/``detect_screen`` run
+        end-to-end under the new config.  For ``precision="int8"``,
+        ``calibration`` — a real (N, C, H, W) activation batch, e.g. a
+        slice of the training split — drives
+        :meth:`InferencePlan.calibrate_int8`; without it the plan
+        calibrates itself on the seeded synthetic corpus at first use.
+        """
+        if self._plan is not None:
+            self._plan.close()
+        self.deploy = deploy
+        self._plan = None
+        if calibration is not None:
+            self.inference_plan().calibrate_int8(calibration)
 
     def __getstate__(self):
         # The plan holds scratch buffers keyed by layer identity; it is

@@ -56,6 +56,18 @@ def read_and_report(path, failures):
         return ""
 
 
+def merge_projected_shards(parts, basis):
+    # DL007 negative: the accumulation order is documented.
+    # reduction-order: one GEMM per shard, K never split, fixed order
+    return [basis @ part for part in parts]
+
+
+def project_features(features, basis):
+    # DL007 negative: not a merge/reduction scope, so a product here
+    # is ordinary math, not a shard-order hazard.
+    return np.dot(features, basis)
+
+
 def collect_fresh(item, seen=None):
     # DL006 negative: the None-default idiom.
     if seen is None:

@@ -1,0 +1,8 @@
+"""Fixture: exactly one DL007 (undocumented matmul reduction) violation."""
+
+import numpy as np
+
+
+def merge_shard_features(parts, weights):
+    stacked = np.stack(parts)
+    return weights @ stacked

@@ -43,9 +43,10 @@ class TestExitCodes:
     def test_dirty_tree_exits_one_with_all_rules(self, capsys):
         assert main([DIRTY]) == 1
         out = capsys.readouterr().out
-        for rule in ("DL001", "DL002", "DL003", "DL004", "DL005", "DL006"):
+        for rule in ("DL001", "DL002", "DL003", "DL004", "DL005", "DL006",
+                     "DL007"):
             assert rule in out
-        assert "6 finding(s)" in out
+        assert "7 finding(s)" in out
 
     def test_missing_path_exits_two(self, tmp_path, capsys):
         rc = main([str(tmp_path / "nope")])
@@ -75,7 +76,7 @@ class TestReports:
         assert main(["--format", "json", "--output", str(report),
                      DIRTY]) == 1
         payload = json.loads(report.read_text())
-        assert payload["count"] == 6
+        assert payload["count"] == 7
         assert payload["by_rule"]["DL003"] == 1
 
     def test_json_bytes_identical_for_shuffled_paths(self, tmp_path):
@@ -99,7 +100,7 @@ class TestReproCliDelegation:
         assert repro_main(["lint", CLEAN]) == 0
         assert "clean" in capsys.readouterr().out
         assert repro_main(["lint", DIRTY]) == 1
-        assert "6 finding(s)" in capsys.readouterr().out
+        assert "7 finding(s)" in capsys.readouterr().out
 
     def test_repro_lint_missing_path(self, tmp_path, capsys):
         from repro.cli import main as repro_main

@@ -21,6 +21,7 @@ DIRTY = [
     ("dl004_float_accumulation.py", "DL004"),
     ("dl005_swallowed_exception.py", "DL005"),
     ("dl006_mutable_default.py", "DL006"),
+    ("dl007_matmul_reduction.py", "DL007"),
 ]
 
 
@@ -42,7 +43,7 @@ class TestDirtyFixtures:
     def test_dirty_tree_has_one_finding_per_rule(self):
         findings = engine().lint_paths([os.path.join(FIXTURES, "dirty")])
         assert sorted(f.rule for f in findings) == \
-            ["DL001", "DL002", "DL003", "DL004", "DL005", "DL006"]
+            ["DL001", "DL002", "DL003", "DL004", "DL005", "DL006", "DL007"]
 
     @pytest.mark.parametrize("filename,rule", DIRTY,
                              ids=[rule for _, rule in DIRTY])

@@ -1,0 +1,119 @@
+"""Provenance manifests and the regress manifest gate (exit code 3)."""
+
+import json
+
+import pytest
+
+from repro.bench.provenance import (
+    MANIFEST_KEY,
+    MANIFEST_VERSION,
+    build_manifest,
+    config_hash,
+    git_sha,
+    manifest_mismatches,
+)
+from repro.bench.regress import main as regress_main
+
+
+class TestManifestBuilding:
+    def test_fields_and_version(self, monkeypatch):
+        monkeypatch.setenv("DARPA_GIT_SHA", "deadbeef")
+        manifest = build_manifest("corpus-v1", 7, {"apps": 10})
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["corpus_version"] == "corpus-v1"
+        assert manifest["seed_base"] == 7
+        assert manifest["git_sha"] == "deadbeef"
+        assert manifest["config_hash"] == config_hash({"apps": 10})
+
+    def test_config_hash_is_key_order_invariant(self):
+        assert config_hash({"a": 1, "b": [2, 3]}) == \
+            config_hash({"b": [2, 3], "a": 1})
+
+    def test_config_hash_distinguishes_configs(self):
+        assert config_hash({"apps": 10}) != config_hash({"apps": 12})
+
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("DARPA_GIT_SHA", "cafe1234")
+        assert git_sha() == "cafe1234"
+
+    def test_git_sha_without_override_is_nonempty(self, monkeypatch):
+        monkeypatch.delenv("DARPA_GIT_SHA", raising=False)
+        assert git_sha()  # repo SHA here, "unknown" outside a checkout
+
+
+class TestManifestMismatches:
+    def test_both_absent_is_comparable(self):
+        assert manifest_mismatches(None, None) == []
+
+    def test_one_sided_presence_is_a_mismatch(self):
+        manifest = build_manifest("v1", 0, {})
+        assert manifest_mismatches(manifest, None)
+        assert manifest_mismatches(None, manifest)
+
+    def test_identical_manifests_match(self):
+        a = build_manifest("v1", 0, {"k": 1})
+        assert manifest_mismatches(a, dict(a)) == []
+
+    def test_git_sha_is_excluded(self):
+        a = build_manifest("v1", 0, {"k": 1})
+        b = dict(a, git_sha="someone-elses-tree")
+        assert manifest_mismatches(a, b) == []
+
+    def test_config_drift_is_reported(self):
+        a = build_manifest("v1", 0, {"k": 1})
+        b = build_manifest("v1", 0, {"k": 2})
+        assert any("config_hash" in m for m in manifest_mismatches(a, b))
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestRegressGate:
+    def _payload(self, value=1.5, manifest=True, seed=0):
+        payload = {"metric": value}
+        if manifest:
+            payload[MANIFEST_KEY] = build_manifest("v1", seed, {"r": 1})
+        return payload
+
+    def test_matching_manifests_compare_and_pass(self, tmp_path):
+        base = _write(tmp_path, "base.json", self._payload())
+        fresh = _write(tmp_path, "fresh.json", self._payload())
+        assert regress_main(["--baseline", base, "--fresh", fresh]) == 0
+
+    def test_mismatched_manifests_exit_3(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", self._payload(seed=0))
+        fresh = _write(tmp_path, "fresh.json", self._payload(seed=1))
+        assert regress_main(["--baseline", base, "--fresh", fresh]) == 3
+        assert "provenance mismatch" in capsys.readouterr().err
+
+    def test_one_sided_manifest_exits_3(self, tmp_path):
+        base = _write(tmp_path, "base.json", self._payload(manifest=False))
+        fresh = _write(tmp_path, "fresh.json", self._payload())
+        assert regress_main(["--baseline", base, "--fresh", fresh]) == 3
+
+    def test_ignore_manifest_overrides(self, tmp_path):
+        base = _write(tmp_path, "base.json", self._payload(seed=0))
+        fresh = _write(tmp_path, "fresh.json", self._payload(seed=1))
+        assert regress_main(["--baseline", base, "--fresh", fresh,
+                             "--ignore-manifest"]) == 0
+
+    def test_value_drift_still_fails_after_manifest_check(self, tmp_path):
+        base = _write(tmp_path, "base.json", self._payload(value=1.0))
+        fresh = _write(tmp_path, "fresh.json", self._payload(value=2.0))
+        assert regress_main(["--baseline", base, "--fresh", fresh]) == 1
+
+    def test_legacy_payloads_without_manifests_still_compare(self, tmp_path):
+        base = _write(tmp_path, "base.json", self._payload(manifest=False))
+        fresh = _write(tmp_path, "fresh.json", self._payload(manifest=False))
+        assert regress_main(["--baseline", base, "--fresh", fresh]) == 0
+
+    def test_differing_git_sha_alone_is_comparable(self, tmp_path):
+        base_payload = self._payload()
+        fresh_payload = json.loads(json.dumps(base_payload))
+        fresh_payload[MANIFEST_KEY]["git_sha"] = "another-tree"
+        base = _write(tmp_path, "base.json", base_payload)
+        fresh = _write(tmp_path, "fresh.json", fresh_payload)
+        assert regress_main(["--baseline", base, "--fresh", fresh]) == 0

@@ -1,0 +1,81 @@
+"""Vectorized NMS must be bit-identical to the reference loop.
+
+The two paths in :mod:`repro.geometry.nms` share a float64 pair-IoU
+contract with a fixed operation order; these tests drive both over
+seeded clustered box sets (where suppression chains actually happen)
+and assert identical survivors in identical order — including float32
+rect fields (the grid decoder's dtype) and deliberate score ties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.nms import (
+    ScoredBox,
+    VECTORIZE_MIN_BOXES,
+    _non_max_suppression_vec,
+    non_max_suppression,
+    non_max_suppression_loop,
+)
+from repro.geometry.rect import Rect
+
+
+def _clustered_boxes(seed, n, n_clusters=4, float32=False, n_labels=2):
+    """Boxes bunched around cluster centers so NMS has real work."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(20, 300, size=(n_clusters, 2))
+    out = []
+    for i in range(n):
+        cx, cy = centers[int(rng.integers(0, n_clusters))]
+        cx += float(rng.normal(0, 6))
+        cy += float(rng.normal(0, 6))
+        w = float(rng.uniform(18, 42))
+        h = float(rng.uniform(18, 42))
+        x, y = cx - w / 2, cy - h / 2
+        if float32:
+            x, y, w, h = (np.float32(v) for v in (x, y, w, h))
+        # Two-decimal scores force ties, exercising stable-sort order.
+        score = float(round(float(rng.uniform(0.05, 0.99)), 2))
+        label = f"c{int(rng.integers(0, n_labels))}"
+        out.append(ScoredBox(Rect(x, y, w, h), label=label, score=score))
+    return out
+
+
+def _vectorized(boxes, iou_threshold, class_agnostic):
+    ordered = sorted(boxes, key=lambda b: b.score, reverse=True)
+    return _non_max_suppression_vec(ordered, iou_threshold, class_agnostic)
+
+
+class TestLoopVsVectorized:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("class_agnostic", [False, True])
+    def test_bit_identical_on_clustered_sets(self, seed, class_agnostic):
+        boxes = _clustered_boxes(seed, n=40, float32=bool(seed % 2))
+        for thr in (0.2, 0.45, 0.7):
+            loop = non_max_suppression_loop(boxes, thr, class_agnostic)
+            vec = _vectorized(boxes, thr, class_agnostic)
+            assert loop == vec
+
+    def test_public_entry_point_matches_loop_above_cutover(self):
+        boxes = _clustered_boxes(99, n=VECTORIZE_MIN_BOXES + 5)
+        assert non_max_suppression(boxes) == non_max_suppression_loop(boxes)
+
+    def test_public_entry_point_matches_loop_below_cutover(self):
+        boxes = _clustered_boxes(7, n=VECTORIZE_MIN_BOXES - 2)
+        assert non_max_suppression(boxes) == non_max_suppression_loop(boxes)
+
+    def test_empty_and_singleton(self):
+        assert non_max_suppression([]) == []
+        only = [ScoredBox(Rect(0, 0, 10, 10), "AGO", 0.5)]
+        assert non_max_suppression(only) == only
+
+    def test_exact_duplicates_collapse_identically(self):
+        # Duplicate rects tie on IoU == 1 > thr; both paths must keep
+        # exactly one per class and preserve the stable order.
+        rect = Rect(10.0, 10.0, 40.0, 40.0)
+        boxes = [ScoredBox(rect, "AGO", 0.9), ScoredBox(rect, "AGO", 0.9),
+                 ScoredBox(rect, "UPO", 0.8)] * 4
+        loop = non_max_suppression_loop(boxes, 0.45, False)
+        vec = _vectorized(boxes, 0.45, False)
+        assert loop == vec
+        assert len(loop) == 2

@@ -1,0 +1,195 @@
+"""Unit tests for the fast-kernel helpers and the calibrated int8 path.
+
+The contracts pinned here back the determinism story in
+:mod:`repro.vision.nn.infer`:
+
+- int8 GEMM partial sums fit in float32's 24-bit integer window, so
+  *any* row tiling is exact — bit-identical to an int64 reference;
+- quantization helpers produce symmetric codes with per-channel scales
+  whose round-trip error is bounded by half a step;
+- the per-channel conv-weight scheme in ``porting._quantize`` beats
+  the old per-tensor scheme by an order of magnitude in the presence
+  of an outlier channel (the regression this PR pins);
+- the int8 inference plan is bit-identical across batch compositions
+  and stays within a bounded epsilon of the float plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vision.nn import DeployConfig
+from repro.vision.nn.kernels import (
+    INT8_EXACT_MAX_K,
+    int8_accumulation_exact,
+    int8_gemm,
+    quantize_symmetric,
+    quantize_to_float,
+    tiled_matmul,
+)
+from repro.vision.porting import _quantize
+from repro.vision.yolo import TinyYolo, YoloConfig
+
+SMALL = YoloConfig(input_w=24, input_h=24, channels=(8, 8, 8, 8))
+
+
+def _int8_valued(rng, shape):
+    """Float32 array whose values are exact signed-8-bit integers."""
+    return rng.integers(-127, 128, size=shape).astype(np.float32)
+
+
+class TestTiledMatmul:
+    @pytest.mark.parametrize("m,k,n", [(9216, 27, 16), (2304, 144, 24),
+                                       (576, 216, 48), (144, 432, 48)])
+    def test_int_valued_tiling_is_exact(self, m, k, n):
+        # Integer-valued operands with K <= 1040 accumulate exactly, so
+        # every tile size must agree bitwise with the one-shot product
+        # (these are the TinyYolo conv GEMM shapes).
+        rng = np.random.default_rng(0)
+        a = _int8_valued(rng, (m, k))
+        b = _int8_valued(rng, (k, n))
+        ref = np.matmul(a, b)
+        for tile_rows in (64, 100, 2048, m, m + 7):
+            assert np.array_equal(tiled_matmul(a, b, tile_rows=tile_rows), ref)
+
+    def test_whole_matrix_tile_is_trivially_identical_for_floats(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, (300, 72)).astype(np.float32)
+        b = rng.normal(0, 1, (72, 8)).astype(np.float32)
+        assert np.array_equal(tiled_matmul(a, b, tile_rows=300),
+                              np.matmul(a, b))
+
+    def test_float_tiling_stays_close(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, (500, 64)).astype(np.float32)
+        b = rng.normal(0, 1, (64, 16)).astype(np.float32)
+        assert np.allclose(tiled_matmul(a, b, tile_rows=128),
+                           np.matmul(a, b), atol=1e-5)
+
+    def test_out_buffer_is_used(self):
+        rng = np.random.default_rng(3)
+        a = _int8_valued(rng, (100, 30))
+        b = _int8_valued(rng, (30, 5))
+        out = np.empty((100, 5), dtype=np.float32)
+        result = tiled_matmul(a, b, out=out, tile_rows=32)
+        assert result is out
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            tiled_matmul(np.zeros((2, 3), np.float32),
+                         np.zeros((4, 5), np.float32))
+
+
+class TestQuantize:
+    def test_per_tensor_codes_and_roundtrip_bound(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 0.1, (64, 32)).astype(np.float32)
+        codes, scale = quantize_symmetric(w)
+        assert codes.dtype == np.int8
+        assert np.abs(codes.astype(np.int32)).max() <= 127
+        assert np.isclose(scale, np.abs(w).max() / 127)
+        err = np.abs(codes.astype(np.float32) * scale - w).max()
+        assert err <= scale / 2 + 1e-7
+
+    def test_per_channel_scales(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 0.1, (72, 16)).astype(np.float32)
+        codes, scale = quantize_symmetric(w, axis=1)
+        assert scale.shape == (16,)
+        for c in range(16):
+            assert np.isclose(scale[c], np.abs(w[:, c]).max() / 127)
+
+    def test_zero_channel_gets_unit_scale(self):
+        w = np.zeros((8, 4), dtype=np.float32)
+        w[:, 0] = 1.0
+        codes, scale = quantize_symmetric(w, axis=1)
+        assert scale[1] == 1.0 and np.all(codes[:, 1] == 0)
+
+    def test_quantize_to_float_clips_and_rounds(self):
+        x = np.array([[-10.0, 0.24, 0.26, 10.0]], dtype=np.float32)
+        q = quantize_to_float(x, np.float32(0.5))
+        assert q.tolist() == [[-20.0, 0.0, 1.0, 20.0]]
+        assert np.abs(q).max() <= 127
+
+
+class TestInt8Gemm:
+    def test_matches_int64_reference_exactly(self):
+        rng = np.random.default_rng(0)
+        qa = _int8_valued(rng, (200, 432))
+        qb = _int8_valued(rng, (432, 48))
+        ref = np.matmul(qa.astype(np.int64), qb.astype(np.int64))
+        out = int8_gemm(qa, qb, tile_rows=64)
+        assert np.array_equal(out.astype(np.int64), ref)
+
+    def test_k_guard(self):
+        assert int8_accumulation_exact(INT8_EXACT_MAX_K)
+        assert not int8_accumulation_exact(INT8_EXACT_MAX_K + 1)
+        k = INT8_EXACT_MAX_K + 1
+        with pytest.raises(ValueError):
+            int8_gemm(np.zeros((4, k), np.float32),
+                      np.zeros((k, 2), np.float32))
+
+
+class TestPerChannelPortQuantize:
+    def test_outlier_channel_no_longer_poisons_the_rest(self):
+        # The regression this PR pins: per-channel conv-weight scales
+        # must beat the old per-tensor scheme by >=10x max-abs error on
+        # the non-outlier channels.
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 0.02, (16, 8, 3, 3)).astype(np.float32)
+        w[0] *= 50.0  # one hot filter
+        per_channel = _quantize(w, "int8")
+        codes, scale = quantize_symmetric(w)  # the old per-tensor scheme
+        per_tensor = codes.astype(np.float32) * scale
+        err_pc = np.abs(per_channel[1:] - w[1:]).max()
+        err_pt = np.abs(per_tensor[1:] - w[1:]).max()
+        assert err_pc < err_pt / 10
+
+    def test_bias_vectors_keep_per_tensor_scale(self):
+        b = np.array([0.5, -0.25, 0.125], dtype=np.float32)
+        q = _quantize(b, "int8")
+        assert q.shape == b.shape
+        assert np.abs(q - b).max() <= np.abs(b).max() / 127 / 2 + 1e-7
+
+
+class TestInt8Plan:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TinyYolo(SMALL, seed=0,
+                        deploy=DeployConfig(precision="int8", gemm="tiled"))
+
+    @pytest.fixture(scope="class")
+    def x(self):
+        return np.random.default_rng(5).random((6, 3, 24, 24),
+                                               dtype=np.float32)
+
+    def test_batched_bit_identical_to_per_image(self, model, x):
+        # Exact integer accumulation makes the int8 path immune to the
+        # shape-dependent BLAS effects the float path must respect.
+        plan = model.inference_plan()
+        batched = plan.forward(x)
+        singles = np.concatenate([plan.forward(x[i:i + 1])
+                                  for i in range(len(x))])
+        assert np.array_equal(batched, singles)
+
+    def test_bounded_epsilon_vs_float_plan(self, model, x):
+        int8_out = model.inference_plan().forward(x)
+        float_model = TinyYolo(SMALL, seed=0)
+        float_out = float_model.inference_plan().forward(x)
+        assert int8_out.shape == float_out.shape
+        err = np.abs(int8_out - float_out).max()
+        scale = np.abs(float_out).max()
+        assert err <= 0.05 * scale + 0.05, f"int8 drifted: max err {err}"
+
+    def test_calibrate_requires_int8_plan(self):
+        plan = TinyYolo(SMALL, seed=0).inference_plan()
+        with pytest.raises(ValueError):
+            plan.calibrate_int8(np.zeros((1, 3, 24, 24), np.float32))
+
+    def test_explicit_calibration_roundtrip(self, x):
+        model = TinyYolo(SMALL, seed=0,
+                         deploy=DeployConfig(precision="int8"))
+        plan = model.inference_plan()
+        plan.calibrate_int8(x[:2])
+        assert plan.is_calibrated
+        out = plan.forward(x)
+        assert out.shape[0] == len(x)

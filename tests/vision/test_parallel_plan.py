@@ -1,0 +1,92 @@
+"""Multicore plan executor: bit-identical to sequential, any workers.
+
+The scheme (mirroring ``repro.bench.parallel``): chunk boundaries are
+a pure function of the batch size and the deploy config, chunks land on
+group boundaries so group composition matches the sequential walk, and
+the merge is ordered concatenation — no arithmetic, no races.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vision.nn import DeployConfig
+from repro.vision.nn.parallel import ParallelPlanExecutor
+from repro.vision.yolo import TinyYolo, YoloConfig
+
+SMALL = YoloConfig(input_w=24, input_h=24, channels=(8, 8, 8, 8))
+
+
+@pytest.fixture(scope="module")
+def x():
+    return np.random.default_rng(3).random((6, 3, 24, 24), dtype=np.float32)
+
+
+def _deploy(workers, **kw):
+    return DeployConfig(workers=workers, **kw)
+
+
+@pytest.mark.parametrize("deploy_kw", [
+    {},                                        # fp32, per-image GEMM
+    {"gemm": "tiled", "images_per_tile": 2},   # fp32, grouped GEMM
+    {"precision": "int8", "gemm": "tiled", "images_per_tile": 2},
+], ids=["fp32_per_image", "fp32_tiled", "int8_tiled"])
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_bit_identical_to_sequential(x, deploy_kw, workers):
+    sequential = TinyYolo(SMALL, seed=0, deploy=_deploy(1, **deploy_kw))
+    parallel = TinyYolo(SMALL, seed=0, deploy=_deploy(workers, **deploy_kw))
+    try:
+        ref = sequential.inference_plan().forward(x)
+        out = parallel.inference_plan().forward(x)
+        assert np.array_equal(out, ref)
+    finally:
+        parallel.inference_plan().close()
+
+
+def test_single_image_batch_stays_inline(x):
+    # A batch of one never pays process fan-out.
+    model = TinyYolo(SMALL, seed=0, deploy=_deploy(4))
+    try:
+        plan = model.inference_plan()
+        out = plan.forward(x[:1])
+        assert out.shape[0] == 1
+    finally:
+        model.inference_plan().close()
+
+
+def test_more_workers_than_groups(x):
+    # Worker count far beyond the chunkable group count must degrade
+    # to fewer shards, not to empty chunks.
+    model = TinyYolo(SMALL, seed=0,
+                     deploy=_deploy(16, gemm="tiled", images_per_tile=4))
+    ref = TinyYolo(SMALL, seed=0,
+                   deploy=_deploy(1, gemm="tiled", images_per_tile=4))
+    try:
+        assert np.array_equal(model.inference_plan().forward(x),
+                              ref.inference_plan().forward(x))
+    finally:
+        model.inference_plan().close()
+
+
+class TestChunkBounds:
+    def _bounds(self, n, workers, **kw):
+        model = TinyYolo(SMALL, seed=0, deploy=_deploy(workers, **kw))
+        executor = ParallelPlanExecutor(model.inference_plan(), workers)
+        return executor.chunk_bounds(n)
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 8, 17])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 8])
+    def test_bounds_partition_the_batch(self, n, workers):
+        bounds = self._bounds(n, workers, gemm="tiled", images_per_tile=2)
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (lo_a, hi_a), (lo_b, _hi_b) in zip(bounds, bounds[1:]):
+            assert hi_a == lo_b and lo_a < hi_a
+
+    def test_bounds_land_on_group_boundaries(self):
+        bounds = self._bounds(16, 3, gemm="tiled", images_per_tile=4)
+        for lo, _hi in bounds:
+            assert lo % 4 == 0
+
+    def test_per_image_mode_chunks_per_image(self):
+        bounds = self._bounds(7, 3)
+        assert len(bounds) == 3
+        assert bounds[0][0] == 0 and bounds[-1][1] == 7
