@@ -1,0 +1,244 @@
+"""Daemon benchmark — offered-load sweep over the serving daemon.
+
+Not a paper table: this exercises the deterministic serving daemon
+(:mod:`repro.core.daemon`) end-to-end.  One seeded fleet is pushed
+through the daemon at three offered loads (light, moderate, overload)
+and the scheduling surface is recorded per point: p95 reaction latency
+(from the merged fleet telemetry), shed rate, outcome mix, queue
+deferral, and batch occupancy.
+
+Four hard guarantees are asserted:
+
+- **sequential equivalence**: at zero faults and offered load within
+  capacity, the daemon's merged ``trace.jsonl`` / ``metrics.jsonl`` /
+  ``telemetry.json`` / ``telemetry.prom`` are byte-identical to
+  :func:`repro.bench.parallel.run_darpa_over_fleet_parallel` — for any
+  worker count or batch size, scheduling leaves no fingerprint;
+- **graceful overload**: the overload point sheds (typed rejections)
+  and degrades (FraudDroid fallback) rather than hanging — every
+  offered session reaches exactly one terminal outcome;
+- **crash-safe resume**: a run killed mid-flight (``max_batches``) and
+  resumed from its journal produces artifacts byte-identical to the
+  uninterrupted run, ``daemon.json`` and ``drain.json`` included;
+- **worker-fault inertness**: a seeded worker stall/crash plan delays
+  batches but leaves every session artifact byte-identical — crashed
+  batches re-enqueue without double-counting.
+
+Results land in ``BENCH_daemon.json`` at the repo root (override the
+directory with ``DARPA_BENCH_OUT``; the CI regression gate diffs a
+fresh payload against the committed baseline).  Every recorded number
+is simulated-deterministic, so the gate tolerates zero drift.  Fleet
+size is small by default (CI smoke); override with ``DARPA_DAEMON_APPS``.
+"""
+
+import filecmp
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.android.faults import FaultPlan
+from repro.bench import (
+    build_runtime_fleet,
+    print_table,
+    run_darpa_over_fleet_parallel,
+)
+from repro.bench.provenance import build_manifest
+from repro.core.daemon import DaemonConfig, DarpaDaemon
+from repro.core.telemetry import FleetTelemetry
+
+N_APPS = int(os.environ.get("DARPA_DAEMON_APPS", "8"))
+CT_MS = 200.0
+OUT_DIR = Path(os.environ.get(
+    "DARPA_BENCH_OUT", str(Path(__file__).resolve().parents[1])))
+OUT_PATH = OUT_DIR / "BENCH_daemon.json"
+
+ARTIFACTS = ("trace.jsonl", "metrics.jsonl", "telemetry.json",
+             "telemetry.prom")
+
+#: Offered-load sweep: the session inter-arrival shrinks while the
+#: service capacity stays fixed, pushing the daemon from idle lanes
+#: into admission-control shedding and deadline degradation.
+SWEEP = [
+    ("light", DaemonConfig(
+        inter_arrival_ms=400.0, workers=2, batch_max=4,
+        admission_rate_per_s=50.0, admission_burst=16,
+        batch_service_ms=250.0, shed_deadline_ms=2000.0)),
+    ("moderate", DaemonConfig(
+        inter_arrival_ms=120.0, workers=2, batch_max=4,
+        admission_rate_per_s=50.0, admission_burst=16,
+        batch_service_ms=250.0, shed_deadline_ms=2000.0)),
+    ("overload", DaemonConfig(
+        inter_arrival_ms=10.0, workers=1, batch_max=2,
+        admission_rate_per_s=20.0, admission_burst=2,
+        batch_service_ms=400.0, shed_deadline_ms=50.0)),
+]
+
+#: In-capacity config used for the equivalence / resume / fault legs.
+BASE = DaemonConfig(inter_arrival_ms=120.0, workers=2, batch_max=4,
+                    admission_rate_per_s=50.0, admission_burst=16,
+                    batch_service_ms=250.0, shed_deadline_ms=0.0)
+
+
+def artifacts_equal(dir_a, dir_b, names=ARTIFACTS):
+    return all(filecmp.cmp(os.path.join(dir_a, name),
+                           os.path.join(dir_b, name), shallow=False)
+               for name in names)
+
+
+def reaction_p95(out_dir):
+    with open(os.path.join(out_dir, "telemetry.json")) as fp:
+        fleet = FleetTelemetry.from_snapshot(json.load(fp))
+    sketch = fleet.sketches["darpa.latency.reaction_ms"]
+    return sketch.quantile(0.95) if sketch.count else None
+
+
+def sweep_point(sessions, name, config):
+    with tempfile.TemporaryDirectory() as out:
+        report = DarpaDaemon(sessions, "oracle", config=config, ct_ms=CT_MS,
+                             out_dir=out, keep_results=False).run()
+        p95 = reaction_p95(out)
+    c = report.counters
+    # No hangs: every offered session reached a terminal outcome, and
+    # the outcome counts tile the offered count exactly (trichotomy).
+    assert c["decorated"] + c["degraded"] + c["shed"] == c["offered"]
+    deferrals = [e.deferred_ms for e in report.schedules
+                 if e.start_ms is not None]
+    return {
+        "point": name,
+        "inter_arrival_ms": config.inter_arrival_ms,
+        "offered": c["offered"],
+        "admitted": c["admitted"],
+        "decorated": c["decorated"],
+        "degraded": c["degraded"],
+        "shed": c["shed"],
+        "shed_by_kind": {"rate_limited": c["shed_rate_limited"],
+                         "queue_full": c["shed_queue_full"],
+                         "drained": c["shed_drained"]},
+        "shed_rate": report.shed_rate,
+        "reaction_p95_ms": p95,
+        "mean_batch_occupancy": report.mean_batch_occupancy,
+        "max_deferred_ms": max(deferrals) if deferrals else 0.0,
+        "batches_completed": c["batches_completed"],
+        "sim_end_ms": report.sim_end_ms,
+    }
+
+
+def check_sequential_equivalence(sessions):
+    """Daemon artifacts == parallel-runner artifacts, several configs."""
+    verdicts = {}
+    with tempfile.TemporaryDirectory() as seq_dir:
+        run_darpa_over_fleet_parallel(sessions, "oracle", ct_ms=CT_MS,
+                                      mode="full", n_workers=1,
+                                      trace_dir=seq_dir)
+        for workers, batch_max in ((1, 1), (2, 4), (3, 2)):
+            config = DaemonConfig(
+                inter_arrival_ms=120.0, workers=workers, batch_max=batch_max,
+                admission_rate_per_s=50.0, admission_burst=16,
+                batch_service_ms=250.0, shed_deadline_ms=0.0,
+                background_every=3)
+            with tempfile.TemporaryDirectory() as out:
+                DarpaDaemon(sessions, "oracle", config=config, ct_ms=CT_MS,
+                            out_dir=out, keep_results=False).run()
+                verdicts[f"w{workers}b{batch_max}"] = artifacts_equal(
+                    seq_dir, out)
+    return verdicts
+
+
+def check_kill_resume(sessions):
+    """Kill after one batch, resume, compare every artifact byte."""
+    with tempfile.TemporaryDirectory() as full_dir, \
+            tempfile.TemporaryDirectory() as kr_dir:
+        DarpaDaemon(sessions, "oracle", config=BASE, ct_ms=CT_MS,
+                    out_dir=full_dir, keep_results=False).run()
+        killed = DarpaDaemon(sessions, "oracle", config=BASE, ct_ms=CT_MS,
+                             out_dir=kr_dir, keep_results=False
+                             ).run(max_batches=1)
+        assert killed.killed and not killed.completed
+        resumed = DarpaDaemon(sessions, "oracle", config=BASE, ct_ms=CT_MS,
+                              out_dir=kr_dir, keep_results=False
+                              ).run(resume=True)
+        assert resumed.completed
+        return {
+            "resumed_sessions": len(resumed.resumed_indices),
+            "identical": artifacts_equal(
+                full_dir, kr_dir,
+                names=ARTIFACTS + ("daemon.json", "drain.json")),
+        }
+
+
+def check_worker_faults(sessions):
+    """Seeded stalls/crashes delay batches, never touch artifacts."""
+    plan = FaultPlan(seed=99, worker_crash_rate=0.4, worker_stall_rate=0.3)
+    with tempfile.TemporaryDirectory() as base_dir, \
+            tempfile.TemporaryDirectory() as fault_dir:
+        DarpaDaemon(sessions, "oracle", config=BASE, ct_ms=CT_MS,
+                    out_dir=base_dir, keep_results=False).run()
+        report = DarpaDaemon(sessions, "oracle", config=BASE, ct_ms=CT_MS,
+                             out_dir=fault_dir, keep_results=False,
+                             fault_plan=plan).run()
+        return {
+            "worker_crashes": report.counters["worker_crashes"],
+            "worker_stalls": report.counters["worker_stalls"],
+            "completed": report.counters["completed"],
+            "identical": artifacts_equal(base_dir, fault_dir),
+        }
+
+
+def test_daemon_serving(benchmark):
+    sessions = build_runtime_fleet(n_apps=N_APPS, seed=0)
+
+    def run():
+        return {
+            "sweep": [sweep_point(sessions, name, config)
+                      for name, config in SWEEP],
+            "equivalence": check_sequential_equivalence(sessions),
+            "kill_resume": check_kill_resume(sessions),
+            "worker_faults": check_worker_faults(sessions),
+        }
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        ["Point", "Offered", "Decorated", "Degraded", "Shed", "Shed rate",
+         "p95 react ms", "Occupancy"],
+        [[row["point"], row["offered"], row["decorated"], row["degraded"],
+          row["shed"], f"{row['shed_rate']:.2f}",
+          "-" if row["reaction_p95_ms"] is None
+          else f"{row['reaction_p95_ms']:.0f}",
+          f"{row['mean_batch_occupancy']:.2f}"]
+         for row in payload["sweep"]],
+        title=f"Daemon offered-load sweep ({N_APPS} apps, ct={CT_MS:.0f}ms)",
+    )
+
+    light, moderate, overload = payload["sweep"]
+    # In-capacity points serve everything decorated.
+    assert light["shed"] == 0 and light["degraded"] == 0
+    assert moderate["shed"] == 0 and moderate["degraded"] == 0
+    # Overload sheds and degrades instead of hanging.
+    assert overload["shed"] > 0, "overload point shed nothing"
+    assert overload["degraded"] > 0, "overload point degraded nothing"
+    # Scheduling leaves no fingerprint on the artifacts.
+    assert all(payload["equivalence"].values()), payload["equivalence"]
+    # Crash-safe resume reproduces the uninterrupted bytes.
+    assert payload["kill_resume"]["identical"]
+    assert payload["kill_resume"]["resumed_sessions"] >= 1
+    # Worker faults fired and stayed bit-inert.
+    assert payload["worker_faults"]["worker_crashes"] >= 1
+    assert payload["worker_faults"]["completed"] == N_APPS
+    assert payload["worker_faults"]["identical"]
+
+    out = {
+        "manifest": build_manifest(
+            "runtime-fleet-v1", 0,
+            {"n_apps": N_APPS, "ct_ms": CT_MS,
+             "sweep": [{"point": name, **config.to_dict()}
+                       for name, config in SWEEP]}),
+        "benchmark": "daemon",
+        "n_apps": N_APPS,
+        "ct_ms": CT_MS,
+        "fleet_seed": 0,
+        **payload,
+    }
+    OUT_PATH.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT_PATH}")

@@ -30,7 +30,7 @@ the ``BadTokenException`` after a ``SYSTEM_ALERT_WINDOW`` revocation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -93,12 +93,25 @@ class FaultPlan:
     detector_spike_rate: float = 0.0
     detector_spike_ms: float = 400.0
     detector_base_ms: float = 100.0
+    # -- daemon-facing worker faults (see repro.core.daemon) -----------
+    #: Probability a shared inference worker stalls before executing one
+    #: coalesced batch; the batch still executes, but completes
+    #: :attr:`worker_stall_ms` late on the simulated clock.
+    worker_stall_rate: float = 0.0
+    worker_stall_ms: float = 3000.0
+    #: Probability a worker crashes before executing a batch: the batch
+    #: never runs, its sessions must be re-enqueued (without re-counting
+    #: their telemetry), and the worker is back after
+    #: :attr:`worker_restart_ms`.
+    worker_crash_rate: float = 0.0
+    worker_restart_ms: float = 5000.0
 
     def __post_init__(self) -> None:
         for name in ("screenshot_failure_rate", "event_drop_rate",
                      "event_duplicate_rate", "event_storm_rate",
                      "overlay_rejection_rate", "detector_failure_rate",
-                     "detector_spike_rate"):
+                     "detector_spike_rate", "worker_stall_rate",
+                     "worker_crash_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -108,6 +121,8 @@ class FaultPlan:
             raise ValueError("event_storm_size must be >= 1")
         if self.detector_spike_ms < 0 or self.detector_base_ms < 0:
             raise ValueError("detector latencies cannot be negative")
+        if self.worker_stall_ms < 0 or self.worker_restart_ms < 0:
+            raise ValueError("worker delays cannot be negative")
 
     @property
     def is_null(self) -> bool:
@@ -121,6 +136,8 @@ class FaultPlan:
             and self.overlay_rejection_rate == 0.0
             and self.detector_failure_rate == 0.0
             and self.detector_spike_rate == 0.0
+            and self.worker_stall_rate == 0.0
+            and self.worker_crash_rate == 0.0
         )
 
 
@@ -142,7 +159,8 @@ class FaultInjector:
     COUNTER_KEYS = (
         "screenshots_throttled", "screenshots_failed", "events_dropped",
         "events_duplicated", "event_storms", "overlays_rejected",
-        "detector_crashes", "latency_spikes",
+        "detector_crashes", "latency_spikes", "worker_stalls",
+        "worker_crashes",
     )
 
     def __init__(self, plan: FaultPlan, clock: SimulatedClock):
@@ -214,6 +232,35 @@ class FaultInjector:
             self.counts["latency_spikes"] += 1
             return self.plan.detector_base_ms + self.plan.detector_spike_ms
         return self.plan.detector_base_ms
+
+    # -- daemon workers -------------------------------------------------
+
+    def worker_batch_fault(self) -> Tuple[str, float]:
+        """Fault decision for one coalesced inference batch.
+
+        Drawn by the daemon scheduler at batch-formation time, BEFORE
+        any session in the batch executes, so a crashed batch can be
+        re-enqueued without having touched any telemetry.  Returns
+        ``(kind, delay_ms)``:
+
+        - ``("crash", worker_restart_ms)`` — the worker died; the batch
+          never ran and the worker slot is unavailable for the delay;
+        - ``("stall", worker_stall_ms)`` — the batch runs, but finishes
+          late by the delay (CPU starvation / GC pause);
+        - ``("ok", 0.0)`` — no fault.
+
+        The crash draw happens before the stall draw — a fixed,
+        documented order so fault sequences are reproducible whatever
+        combination of rates a plan sets.  Both rates at zero draw
+        nothing (null plans stay bit-inert).
+        """
+        if self._hit(self.plan.worker_crash_rate):
+            self.counts["worker_crashes"] += 1
+            return "crash", self.plan.worker_restart_ms
+        if self._hit(self.plan.worker_stall_rate):
+            self.counts["worker_stalls"] += 1
+            return "stall", self.plan.worker_stall_ms
+        return "ok", 0.0
 
 
 class FaultyDevice(Device):

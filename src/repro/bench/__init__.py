@@ -27,6 +27,7 @@ from repro.bench.kernels import BASELINE_MS_BATCH32, run_kernel_bench
 from repro.bench.parallel import (
     merge_trace_artifacts,
     run_darpa_over_fleet_parallel,
+    write_session_part,
 )
 from repro.bench.provenance import build_manifest, manifest_mismatches
 
@@ -46,6 +47,7 @@ __all__ = [
     "run_darpa_session",
     "merge_trace_artifacts",
     "run_darpa_over_fleet_parallel",
+    "write_session_part",
     "BASELINE_MS_BATCH32",
     "run_kernel_bench",
     "build_manifest",

@@ -73,6 +73,22 @@ def _write_shard_artifacts(trace_dir: str,
         fp.write("\n")
 
 
+def write_session_part(trace_dir: str, index: int,
+                       result: SessionResult) -> None:
+    """Write ONE session's artifacts as a standalone part file set.
+
+    A single-session part is just a one-session shard
+    (``shard-<index>.{trace,metrics}.jsonl`` + ``.telemetry.json``), so
+    :func:`merge_trace_artifacts` folds any mix of multi-session shards
+    and single-session parts into the same merged bytes — the sketch
+    algebra is exactly associative and part names sort in global session
+    order either way.  The daemon (:mod:`repro.core.daemon`) uses this
+    for crash-safe checkpointing: each completed session becomes one
+    idempotent part file set plus one journal line.
+    """
+    _write_shard_artifacts(trace_dir, [(index, result)])
+
+
 def merge_trace_artifacts(trace_dir: str) -> Tuple[str, str]:
     """Merge shard part files into the fleet-level artifacts.
 

@@ -6,6 +6,8 @@ Commands:
 - ``train``     — train a detector, report test metrics, save weights
 - ``evaluate``  — evaluate a saved detector on the test split
 - ``simulate``  — run DARPA over a simulated app fleet (Table VI style)
+- ``serve``     — run the fleet through the serving daemon (admission
+  control, priority lanes, load shedding, drain, crash-safe resume)
 - ``trace``     — trace one session, dump span JSONL + stage summary
 - ``metrics``   — run a traced fleet, emit Prometheus text exposition
 - ``slo``       — evaluate fleet SLOs + burn-rate alerts (CI smoke)
@@ -140,6 +142,65 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"false flags {confusion.fp} of {confusion.fp + confusion.tn} "
           f"non-AUI screens")
     print(f"avg perf: {cpu:.1f}% CPU, {fps:.0f} fps, {mw:.0f} mW")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.android.faults import FaultPlan
+    from repro.bench import build_runtime_fleet
+    from repro.core.daemon import DaemonConfig, DarpaDaemon, JournalError
+
+    detector = "oracle" if args.model is None else _load_model(args.model)
+    if args.model is None:
+        print("No --model given; using the ground-truth oracle detector.")
+    sessions = build_runtime_fleet(n_apps=args.apps, seed=args.seed)
+    config = DaemonConfig(
+        inter_arrival_ms=args.inter_arrival,
+        admission_rate_per_s=args.rate,
+        admission_burst=args.burst,
+        workers=args.workers,
+        batch_max=args.batch_max,
+        batch_service_ms=args.service_ms,
+        shed_deadline_ms=args.shed_deadline,
+        background_every=args.background_every,
+    )
+    fault_plan = None
+    if args.worker_crash_rate or args.worker_stall_rate:
+        fault_plan = FaultPlan(seed=args.seed,
+                               worker_crash_rate=args.worker_crash_rate,
+                               worker_stall_rate=args.worker_stall_rate)
+    daemon = DarpaDaemon(sessions, detector, config=config, ct_ms=args.ct,
+                         mode="full", fault_plan=fault_plan,
+                         out_dir=args.out, keep_results=False)
+    verb = "Resuming" if args.resume else "Serving"
+    print(f"{verb} {args.apps} sessions through the daemon "
+          f"({config.workers} workers, batch<={config.batch_max}, "
+          f"{config.admission_rate_per_s:g}/s admission)...")
+    try:
+        report = daemon.run(resume=args.resume, drain_at_ms=args.drain_at,
+                            max_batches=args.max_batches)
+    except JournalError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    c = report.counters
+    print(f"offered {c['offered']}  admitted {c['admitted']}  "
+          f"completed {c['completed']}")
+    print(f"outcomes: decorated {c['decorated']}  degraded {c['degraded']}  "
+          f"shed {c['shed']} (rate_limited {c['shed_rate_limited']}, "
+          f"queue_full {c['shed_queue_full']}, drained {c['shed_drained']})")
+    print(f"batches: {c['batches_completed']} completed of "
+          f"{c['batches_formed']} formed "
+          f"(mean occupancy {report.mean_batch_occupancy:.2f}); "
+          f"worker crashes {c['worker_crashes']}, stalls {c['worker_stalls']}")
+    if c["coalesced_rounds"]:
+        print(f"coalesced {c['coalesced_requests']} inferences into "
+              f"{c['coalesced_rounds']} shared batch calls")
+    if report.killed:
+        print(f"killed after {args.max_batches} batch(es) — resume with "
+              f"--resume --out {args.out}")
+    elif args.out:
+        print(f"artifacts in {args.out} (daemon.json, drain.json, "
+              f"telemetry.json, trace.jsonl)")
     return 0
 
 
@@ -445,6 +506,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--model", default=None,
                        help="saved model (.npz); omit for the oracle")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the fleet through the serving daemon")
+    p_serve.add_argument("--apps", type=int, default=8)
+    p_serve.add_argument("--ct", type=float, default=200.0)
+    p_serve.add_argument("--model", default=None,
+                         help="saved model (.npz); omit for the oracle")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="shared batched-inference workers")
+    p_serve.add_argument("--batch-max", type=int, default=4,
+                         help="largest coalesced batch")
+    p_serve.add_argument("--rate", type=float, default=50.0,
+                         help="admission token rate, sessions/second")
+    p_serve.add_argument("--burst", type=int, default=16,
+                         help="admission token-bucket burst")
+    p_serve.add_argument("--inter-arrival", type=float, default=120.0,
+                         help="offered load: ms between session arrivals")
+    p_serve.add_argument("--service-ms", type=float, default=250.0,
+                         help="simulated service time per batch")
+    p_serve.add_argument("--shed-deadline", type=float, default=2000.0,
+                         help="queue wait before a session degrades to the "
+                              "FraudDroid fallback (0 = never)")
+    p_serve.add_argument("--background-every", type=int, default=0,
+                         help="route every Nth session to the background "
+                              "lane (0 = all interactive)")
+    p_serve.add_argument("--worker-crash-rate", type=float, default=0.0,
+                         help="seeded mid-batch worker crash probability")
+    p_serve.add_argument("--worker-stall-rate", type=float, default=0.0,
+                         help="seeded mid-batch worker stall probability")
+    p_serve.add_argument("--out", default=None,
+                         help="artifact directory (journal, daemon.json, "
+                              "drain.json, merged telemetry)")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="resume a killed run from its journal")
+    p_serve.add_argument("--drain-at", type=float, default=None,
+                         help="start a graceful drain at this fleet ms")
+    p_serve.add_argument("--max-batches", type=int, default=None,
+                         help="kill the daemon after N batches (crash "
+                              "simulation; pair with --resume later)")
+
     p_trace = sub.add_parser("trace", help="trace one session to JSONL")
     p_trace.add_argument("--session", type=int, default=0,
                          help="fleet index of the session to trace")
@@ -532,6 +632,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "slo": _cmd_slo,

@@ -41,6 +41,20 @@ from repro.core.security import (
 from repro.core.pipeline import DarpaService, DarpaStats
 from repro.core.screencache import ScreenFingerprintCache
 
+# Imported last: the daemon composes the pipeline above and lazily
+# imports the bench runners (which themselves import this package).
+from repro.core.daemon import (
+    CoalescingCoordinator,
+    DaemonConfig,
+    DaemonReport,
+    DarpaDaemon,
+    JournalError,
+    LaneConfig,
+    RejectionRecord,
+    TokenBucket,
+    serve_fleet,
+)
+
 __all__ = [
     "DarpaConfig",
     "DecorationStyle",
@@ -69,4 +83,13 @@ __all__ = [
     "report_from_spans",
     "session_root",
     "stage_cpu_ms",
+    "CoalescingCoordinator",
+    "DaemonConfig",
+    "DaemonReport",
+    "DarpaDaemon",
+    "JournalError",
+    "LaneConfig",
+    "RejectionRecord",
+    "TokenBucket",
+    "serve_fleet",
 ]

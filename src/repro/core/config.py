@@ -81,6 +81,12 @@ class DarpaConfig:
     deadline_ms: float = 0.0
     #: Seed of the retry-jitter stream (independent of the device RNG).
     resilience_seed: int = 0
+    #: Serve every analysis from the FraudDroid heuristic, skipping the
+    #: cache and the CNN entirely.  This is the daemon's load-shedding
+    #: lever (:mod:`repro.core.daemon`): a session whose screens cannot
+    #: make the reaction budget through the inference queue degrades
+    #: instead of being dropped.  Requires ``fallback_to_heuristic``.
+    force_degraded: bool = False
 
     style: DecorationStyle = field(default_factory=DecorationStyle)
 
@@ -99,3 +105,6 @@ class DarpaConfig:
             raise ValueError("breaker cooldown must be non-negative")
         if self.deadline_ms < 0:
             raise ValueError("deadline must be non-negative")
+        if self.force_degraded and not self.fallback_to_heuristic:
+            raise ValueError(
+                "force_degraded requires fallback_to_heuristic")

@@ -123,6 +123,33 @@ STAT_COUNTERS: Tuple[str, ...] = (
     "overlay_rejections",
 )
 
+#: Breaker transition events exported as ``darpa.resilience.<name>``
+#: registry counters: every CLOSED/OPEN/HALF_OPEN edge plus the outcome
+#: of each half-open probe.  Pre-created (so they appear, zero-valued,
+#: in every snapshot) and all zero on a fault-free run.
+RESILIENCE_COUNTERS: Tuple[str, ...] = (
+    # CLOSED/HALF_OPEN -> OPEN (same edges DarpaStats.breaker_opens
+    # counts; duplicated here so the resilience namespace is complete).
+    "breaker_opened",
+    # OPEN -> HALF_OPEN cooldown expiries (a probe is now allowed).
+    "breaker_half_opened",
+    # HALF_OPEN/OPEN -> CLOSED recoveries.
+    "breaker_closed",
+    # Half-open probe inferences that succeeded (breaker re-closed).
+    "probe_successes",
+    # Half-open probe inferences that failed (breaker re-opened).
+    "probe_failures",
+)
+
+#: CircuitBreaker listener event -> resilience counter name.
+_BREAKER_EVENT_COUNTER = {
+    "opened": "breaker_opened",
+    "half_opened": "breaker_half_opened",
+    "closed": "breaker_closed",
+    "probe_success": "probe_successes",
+    "probe_failure": "probe_failures",
+}
+
 
 class DarpaStats:
     """Counters the evaluation section reads off a run.
@@ -262,7 +289,12 @@ class DarpaService:
             device.clock,
             failure_threshold=self.config.breaker_failure_threshold,
             cooldown_ms=self.config.breaker_cooldown_ms,
+            listener=self._on_breaker_transition,
         )
+        # Pre-create the transition counters so they export zero-valued
+        # (stable snapshot keys) instead of appearing on first flap.
+        for _cname in RESILIENCE_COUNTERS:
+            self.stats.registry.counter(f"darpa.resilience.{_cname}")
         self._fallback: Optional[FraudDroidScreenDetector] = None
         if self.config.fallback_to_heuristic:
             self._fallback = FraudDroidScreenDetector(device)
@@ -444,6 +476,24 @@ class DarpaService:
                 tracer.annotate(d_span, applied=len(applied),
                                 rejected=rejected)
 
+    def _on_breaker_transition(self, event: str, src: BreakerState,
+                               dst: BreakerState) -> None:
+        """Breaker listener: count the edge and mark it on the trace.
+
+        Each transition increments its ``darpa.resilience.*`` counter
+        (visible in ``repro metrics`` exports and consumable by the SLO
+        engine) and emits a zero-duration ``breaker_transition`` span at
+        the transition instant, so trace timelines show exactly when the
+        detector was quarantined or rehabilitated.  Fault-free runs
+        never transition, keeping this path bit-inert.
+        """
+        self.stats.registry.counter(
+            f"darpa.resilience.{_BREAKER_EVENT_COUNTER[event]}").inc()
+        now = self.device.clock.now_ms
+        self.tracer.emit("breaker_transition", start_ms=now, end_ms=now,
+                         event=event, from_state=src.value,
+                         to_state=dst.value)
+
     def _update_gauges(self) -> None:
         registry = self.stats.registry
         registry.gauge("darpa.breaker.state").set(
@@ -460,65 +510,76 @@ class DarpaService:
         """
         tracer = self.tracer
         key: Optional[bytes] = None
-        if self._screen_cache is not None:
-            # Probe before the CNN: fingerprinting + lookup is ~2
-            # CPU-ms against 100 for an inference (Table VII).
-            with tracer.span("cache_probe") as c_span:
-                key = self._screen_cache.fingerprint(shot.pixels)
-                self.device.perf.record(PerfOp.CACHE_PROBE)
-                cached = self._screen_cache.get(key)
-                tracer.annotate(c_span, fingerprint=key.hex()[:16],
-                                hit=cached is not None)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                tracer.set_attribute("cache_hit", True)
-                return cached, False
-            self.stats.cache_misses += 1
-        if self.breaker.allow():
-            with tracer.span(
-                    "inference",
-                    breaker_state=self.breaker.state.value) as i_span:
-                profiler = self._attach_profiler()
-                try:
-                    try:
-                        detections = self.detector.detect_screen(
-                            shot.pixels,
-                            refine=self.config.refine_boxes,
-                            conf_threshold=self.config.conf_threshold,
-                        )
-                    finally:
-                        self._detach_profiler()
-                except Exception:
-                    # Any detector exception is a breaker failure; fall
-                    # through to the degraded path for THIS screen too.
-                    self.stats.detector_failures += 1
-                    self._breaker_failure()
-                    tracer.annotate(i_span, crashed=True)
-                else:
-                    self.device.perf.record(PerfOp.INFERENCE)
-                    elapsed = float(
-                        getattr(self.detector, "last_detect_ms", 0.0) or 0.0)
-                    tracer.annotate(i_span, elapsed_ms=elapsed)
-                    if profiler is not None and profiler.steps:
-                        tracer.annotate(i_span, plan_ops=profiler.attribute(
-                            self.device.perf.profile.inference_cpu_ms))
-                    if (self.config.deadline_ms
-                            and elapsed > self.config.deadline_ms):
-                        # Over budget: by the time this inference
-                        # "finished" the screen has likely moved on —
-                        # abandon it rather than decorate a stale frame,
-                        # and treat the overrun as a failure signal for
-                        # the breaker.
-                        self.stats.deadline_skips += 1
-                        self._breaker_failure()
-                        tracer.annotate(i_span, deadline_exceeded=True)
-                        return None
-                    self.breaker.record_success()
-                    if self._screen_cache is not None:
-                        self._screen_cache.put(key, detections)
-                    return detections, False
+        if self.config.force_degraded:
+            # The daemon's load-shedding path: skip both the cache and
+            # the CNN and answer from the heuristic.  The cache is
+            # skipped too — degraded results are never cached, and a
+            # hit here would make shed outcomes depend on whatever CNN
+            # traffic happened to run earlier.
+            tracer.set_attribute("forced_degraded", True)
         else:
-            tracer.set_attribute("breaker_open", True)
+            if self._screen_cache is not None:
+                # Probe before the CNN: fingerprinting + lookup is ~2
+                # CPU-ms against 100 for an inference (Table VII).
+                with tracer.span("cache_probe") as c_span:
+                    key = self._screen_cache.fingerprint(shot.pixels)
+                    self.device.perf.record(PerfOp.CACHE_PROBE)
+                    cached = self._screen_cache.get(key)
+                    tracer.annotate(c_span, fingerprint=key.hex()[:16],
+                                    hit=cached is not None)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    tracer.set_attribute("cache_hit", True)
+                    return cached, False
+                self.stats.cache_misses += 1
+            if self.breaker.allow():
+                with tracer.span(
+                        "inference",
+                        breaker_state=self.breaker.state.value) as i_span:
+                    profiler = self._attach_profiler()
+                    try:
+                        try:
+                            detections = self.detector.detect_screen(
+                                shot.pixels,
+                                refine=self.config.refine_boxes,
+                                conf_threshold=self.config.conf_threshold,
+                            )
+                        finally:
+                            self._detach_profiler()
+                    except Exception:
+                        # Any detector exception is a breaker failure;
+                        # fall through to the degraded path for THIS
+                        # screen too.
+                        self.stats.detector_failures += 1
+                        self._breaker_failure()
+                        tracer.annotate(i_span, crashed=True)
+                    else:
+                        self.device.perf.record(PerfOp.INFERENCE)
+                        elapsed = float(
+                            getattr(self.detector, "last_detect_ms", 0.0)
+                            or 0.0)
+                        tracer.annotate(i_span, elapsed_ms=elapsed)
+                        if profiler is not None and profiler.steps:
+                            tracer.annotate(
+                                i_span, plan_ops=profiler.attribute(
+                                    self.device.perf.profile.inference_cpu_ms))
+                        if (self.config.deadline_ms
+                                and elapsed > self.config.deadline_ms):
+                            # Over budget: by the time this inference
+                            # "finished" the screen has likely moved on
+                            # — abandon it rather than decorate a stale
+                            # frame, and treat the overrun as a failure
+                            # signal for the breaker.
+                            self.stats.deadline_skips += 1
+                            self._breaker_failure()
+                            tracer.annotate(i_span, deadline_exceeded=True)
+                            return None
+                        self.breaker.record_success()
+                        if self._screen_cache is not None:
+                            self._screen_cache.put(key, detections)
+                        return detections, False
+            else:
+                tracer.set_attribute("breaker_open", True)
         # Breaker open (or the inference just crashed): degrade to the
         # metadata heuristic.  Degraded results are never cached — the
         # cache must not replay heuristic verdicts after recovery.

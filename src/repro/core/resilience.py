@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.android.clock import SimulatedClock
 
@@ -75,6 +75,12 @@ class BreakerState(Enum):
     HALF_OPEN = "half_open"
 
 
+#: Signature of a breaker transition listener: ``(event, from_state,
+#: to_state)``.  Events: ``opened``, ``half_opened``, ``closed``,
+#: ``probe_success``, ``probe_failure``.
+BreakerListener = Callable[[str, BreakerState, BreakerState], None]
+
+
 class CircuitBreaker:
     """Consecutive-failure circuit breaker on the simulated clock.
 
@@ -84,10 +90,18 @@ class CircuitBreaker:
     after which the breaker reads HALF_OPEN.  HALF_OPEN: one probe call
     is allowed; success closes the breaker, failure re-opens it for
     another full cooldown.
+
+    Every state transition — and the outcome of each half-open probe —
+    is reported to the optional ``listener``, which the pipeline wires
+    to ``darpa.resilience.*`` registry counters and tracer events so
+    breaker flaps are visible in exported metrics, not just the final
+    fallback count.  On a fault-free run no transition ever fires, so
+    the listener (and the counters behind it) stay untouched.
     """
 
     def __init__(self, clock: SimulatedClock, failure_threshold: int = 3,
-                 cooldown_ms: float = 5000.0):
+                 cooldown_ms: float = 5000.0,
+                 listener: Optional[BreakerListener] = None):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown_ms < 0:
@@ -95,11 +109,17 @@ class CircuitBreaker:
         self.clock = clock
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
+        self.listener = listener
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at_ms: Optional[float] = None
         #: Total CLOSED/HALF_OPEN -> OPEN transitions over the run.
         self.opens = 0
+
+    def _notify(self, event: str, src: BreakerState,
+                dst: BreakerState) -> None:
+        if self.listener is not None:
+            self.listener(event, src, dst)
 
     @property
     def state(self) -> BreakerState:
@@ -108,6 +128,8 @@ class CircuitBreaker:
                 and self._opened_at_ms is not None
                 and self.clock.now_ms - self._opened_at_ms >= self.cooldown_ms):
             self._state = BreakerState.HALF_OPEN
+            self._notify("half_opened", BreakerState.OPEN,
+                         BreakerState.HALF_OPEN)
         return self._state
 
     def allow(self) -> bool:
@@ -115,9 +137,14 @@ class CircuitBreaker:
         return self.state is not BreakerState.OPEN
 
     def record_success(self) -> None:
+        prev = self.state
         self._consecutive_failures = 0
         self._state = BreakerState.CLOSED
         self._opened_at_ms = None
+        if prev is BreakerState.HALF_OPEN:
+            self._notify("probe_success", prev, BreakerState.CLOSED)
+        if prev is not BreakerState.CLOSED:
+            self._notify("closed", prev, BreakerState.CLOSED)
 
     def record_failure(self) -> bool:
         """Count one failure; returns True when it tripped the breaker."""
@@ -129,5 +156,8 @@ class CircuitBreaker:
             self._opened_at_ms = self.clock.now_ms
             self._consecutive_failures = 0
             self.opens += 1
+            if state is BreakerState.HALF_OPEN:
+                self._notify("probe_failure", state, BreakerState.OPEN)
+            self._notify("opened", state, BreakerState.OPEN)
             return True
         return False

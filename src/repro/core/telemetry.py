@@ -311,9 +311,28 @@ TELEMETRY_COUNTERS: Tuple[str, ...] = (
     "detector_failures",
     "breaker_opens",
     "deadline_skips",
+    # Breaker transition counters, read from the ``darpa.resilience.*``
+    # namespace (see ``repro.core.pipeline.RESILIENCE_COUNTERS``).
+    "breaker_opened",
+    "breaker_half_opened",
+    "breaker_closed",
+    "probe_successes",
+    "probe_failures",
 )
 
 _PIPELINE_PREFIX = "darpa.pipeline."
+_RESILIENCE_PREFIX = "darpa.resilience."
+
+#: Telemetry counters that live under ``darpa.resilience.`` instead of
+#: ``darpa.pipeline.`` in registry snapshots and Prometheus exports.
+RESILIENCE_TELEMETRY_COUNTERS: frozenset = frozenset((
+    "breaker_opened", "breaker_half_opened", "breaker_closed",
+    "probe_successes", "probe_failures"))
+
+
+def _counter_namespace(name: str) -> str:
+    return (_RESILIENCE_PREFIX if name in RESILIENCE_TELEMETRY_COUNTERS
+            else _PIPELINE_PREFIX)
 
 
 @dataclass
@@ -333,11 +352,11 @@ class SessionTelemetry:
             raise ValueError(
                 "telemetry needs a traced session (run with trace=True)")
         counters: Dict[str, int] = {name: 0 for name in TELEMETRY_COUNTERS}
-        for key, value in result.metrics.get("counters", {}).items():
-            if key.startswith(_PIPELINE_PREFIX):
-                name = key[len(_PIPELINE_PREFIX):]
-                if name in counters:
-                    counters[name] = int(value)
+        for name in TELEMETRY_COUNTERS:
+            value = result.metrics.get("counters", {}).get(
+                _counter_namespace(name) + name)
+            if value is not None:
+                counters[name] = int(value)
         return cls(session=session,
                    sketches=sketches_from_spans(result.spans, profile=profile,
                                                 session=session, alpha=alpha),
@@ -467,7 +486,7 @@ class FleetTelemetry:
             lines.append(f"{metric}_sum {_prom_float(sketch.sum)}")
             lines.append(f"{metric}_count {sketch.count}")
         for name in sorted(self.counters):
-            metric = _prom_name(f"darpa.pipeline.{name}") + "_total"
+            metric = _prom_name(_counter_namespace(name) + name) + "_total"
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {self.counters[name]}")
         lines.append("# TYPE darpa_fleet_sessions gauge")
@@ -658,6 +677,13 @@ def default_slos(ct_ms: float = 200.0,
         SloSpec(name="watchdog_aborts", objective=0.99, kind="ratio",
                 bad_counter="deadline_skips",
                 total_counters=("screens_analyzed", "deadline_skips")),
+        # Breaker flap health: failed half-open probes mean the detector
+        # keeps getting quarantined and re-quarantined.  Normalized per
+        # analyzed screen, so the burn-rate windows read "what share of
+        # recent traffic ran during a failed recovery attempt".
+        SloSpec(name="breaker_recovery", objective=0.99, kind="ratio",
+                bad_counter="probe_failures",
+                total_counters=("screens_analyzed",)),
     )
 
 

@@ -376,7 +376,8 @@ class TestSloSpec:
             + REACTION_SLACK_MS)
         assert set(specs) == {"reaction_p95", "decoration_success",
                               "fallback_share", "capture_success",
-                              "watchdog_aborts"}
+                              "watchdog_aborts", "breaker_recovery"}
+        assert specs["breaker_recovery"].bad_counter == "probe_failures"
 
 
 class TestSloEngine:

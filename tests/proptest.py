@@ -307,7 +307,8 @@ class TestSpanStructure:
 
     def test_span_names_are_known_stages(self, case):
         known = {"session", "event", "debounce", "analyze", "screenshot",
-                 "cache_probe", "inference", "fallback", "decorate"}
+                 "cache_probe", "inference", "fallback", "decorate",
+                 "breaker_transition"}
         assert {s["name"] for s in case.spans} <= known
 
 
@@ -520,6 +521,157 @@ class TestSloShardInvariance:
             got = engine.evaluate(sharded_series).to_dict()
             assert (json.dumps(got, sort_keys=True)
                     == json.dumps(want, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# Serving-daemon invariants: for ANY seeded scheduling policy the daemon
+# must keep lane FIFO order, respect queue bounds, land every offered
+# session on exactly one terminal outcome, and resume a killed run to
+# the same bytes as an uninterrupted one.
+# ---------------------------------------------------------------------------
+
+N_DAEMON_CASES = 5
+
+
+def _random_daemon_config(rng: np.random.Generator) -> "DaemonConfig":
+    from repro.core.daemon import DaemonConfig, LaneConfig
+
+    lanes = (LaneConfig("interactive", capacity=int(rng.integers(1, 4))),
+             LaneConfig("background", capacity=int(rng.integers(1, 4))))
+    return DaemonConfig(
+        inter_arrival_ms=float(rng.choice([5.0, 40.0, 120.0])),
+        admission_rate_per_s=float(rng.choice([5.0, 40.0, 200.0])),
+        admission_burst=int(rng.integers(1, 6)),
+        lanes=lanes,
+        background_every=int(rng.choice([0, 2, 3])),
+        workers=int(rng.integers(1, 4)),
+        batch_max=int(rng.integers(1, 5)),
+        batch_service_ms=float(rng.choice([100.0, 300.0, 600.0])),
+        shed_deadline_ms=float(rng.choice([0.0, 50.0, 400.0])),
+    )
+
+
+_DAEMON_FLEET = None
+_DAEMON_REPORTS: Dict[int, object] = {}
+
+
+def _daemon_case(index: int):
+    """One daemon run per case index, cached across the invariants."""
+    from repro.bench.experiments import build_runtime_fleet
+    from repro.core.daemon import DarpaDaemon
+
+    global _DAEMON_FLEET
+    if _DAEMON_FLEET is None:
+        _DAEMON_FLEET = build_runtime_fleet(n_apps=4, seed=0)
+    if index not in _DAEMON_REPORTS:
+        rng = np.random.default_rng(SEED_BASE * 6000 + index)
+        config = _random_daemon_config(rng)
+        plan = None
+        if rng.random() < 0.5:
+            plan = FaultPlan(seed=SEED_BASE * 31 + index,
+                             worker_crash_rate=float(rng.choice([0.0, 0.3])),
+                             worker_stall_rate=float(rng.choice([0.0, 0.4])),
+                             worker_restart_ms=200.0,
+                             worker_stall_ms=500.0)
+            if plan.is_null:
+                plan = None
+        report = DarpaDaemon(
+            _DAEMON_FLEET, "oracle", config=config, fault_plan=plan,
+            trace=False, keep_results=False).run()
+        _DAEMON_REPORTS[index] = (config, report)
+    return _DAEMON_REPORTS[index]
+
+
+@pytest.fixture(params=range(N_DAEMON_CASES),
+                ids=lambda i: f"daemon{i}-seed{SEED_BASE * 6000 + i}")
+def daemon_case(request):
+    return _daemon_case(request.param)
+
+
+class TestDaemonProperty:
+    def test_outcome_trichotomy(self, daemon_case):
+        from repro.core.daemon import OUTCOMES
+
+        _, report = daemon_case
+        c = report.counters
+        # Every offered session reached exactly one terminal outcome —
+        # nothing hangs, nothing is counted twice.
+        assert c["decorated"] + c["degraded"] + c["shed"] == c["offered"]
+        assert len(report.outcomes) == c["offered"]
+        assert set(report.outcomes.values()) <= set(OUTCOMES)
+        assert c["shed"] == len(report.rejections)
+
+    def test_fifo_within_every_lane(self, daemon_case):
+        _, report = daemon_case
+        served: Dict[str, List[int]] = {}
+        for batch in report.batches:
+            if batch.fault == "crash":
+                continue  # never ran; its sessions re-enqueued at head
+            served.setdefault(batch.lane, []).extend(batch.indices)
+        for lane, indices in served.items():
+            assert indices == sorted(indices), f"lane {lane} broke FIFO"
+
+    def test_batches_respect_the_size_bound(self, daemon_case):
+        config, report = daemon_case
+        for batch in report.batches:
+            assert 1 <= len(batch.indices) <= config.batch_max
+
+    def test_lane_occupancy_never_exceeds_capacity(self, daemon_case):
+        config, report = daemon_case
+        capacity = {lane.name: lane.capacity for lane in config.lanes}
+        admitted = [e for e in report.schedules
+                    if e.outcome in ("decorated", "degraded")]
+        for entry in admitted:
+            t = entry.arrival_ms
+            # Queued in the same lane at this arrival instant: arrived
+            # at or before t and not yet taken by a batch formed <= t.
+            queued = sum(
+                1 for other in admitted
+                if other.lane == entry.lane and other.arrival_ms <= t
+                and (other.start_ms is None or other.start_ms > t))
+            assert queued <= capacity[entry.lane], (
+                f"lane {entry.lane} exceeded capacity at t={t}")
+
+    def test_crashed_batches_left_no_outcome(self, daemon_case):
+        _, report = daemon_case
+        crashed = [b for b in report.batches if b.fault == "crash"]
+        completed = {i for b in report.batches if b.fault != "crash"
+                     for i in b.indices}
+        for batch in crashed:
+            # Every session of a crashed batch was eventually served by
+            # a later (non-crashed) batch — exactly-once execution.
+            assert set(batch.indices) <= completed
+
+    def test_kill_resume_equals_uninterrupted(self, tmp_path):
+        import filecmp
+
+        from repro.core.daemon import DaemonConfig, DarpaDaemon
+
+        from repro.bench.experiments import build_runtime_fleet
+
+        fleet = _DAEMON_FLEET or build_runtime_fleet(n_apps=4, seed=0)
+        rng = np.random.default_rng(SEED_BASE * 7000)
+        config = DaemonConfig(
+            inter_arrival_ms=float(rng.choice([60.0, 120.0])),
+            admission_rate_per_s=200.0, admission_burst=16,
+            workers=int(rng.integers(1, 3)),
+            batch_max=int(rng.integers(1, 4)),
+            batch_service_ms=250.0, shed_deadline_ms=0.0)
+        full, kr = tmp_path / "full", tmp_path / "kr"
+        DarpaDaemon(fleet, "oracle", config=config,
+                    out_dir=str(full), keep_results=False).run()
+        killed = DarpaDaemon(fleet, "oracle", config=config,
+                             out_dir=str(kr), keep_results=False
+                             ).run(max_batches=1)
+        assert killed.killed
+        resumed = DarpaDaemon(fleet, "oracle", config=config,
+                              out_dir=str(kr), keep_results=False
+                              ).run(resume=True)
+        assert resumed.completed
+        for name in ("trace.jsonl", "metrics.jsonl", "telemetry.json",
+                     "telemetry.prom", "daemon.json", "drain.json"):
+            assert filecmp.cmp(str(full / name), str(kr / name),
+                               shallow=False), f"{name} diverged"
 
 
 # ---------------------------------------------------------------------------
