@@ -12,13 +12,16 @@ Commands:
 - ``metrics``   — run a traced fleet, emit Prometheus text exposition
 - ``slo``       — evaluate fleet SLOs + burn-rate alerts (CI smoke)
 - ``top``       — terminal latency/health summary of a fleet or trace
+- ``dash``      — live ops dashboard (HTTP/SSE) over a run directory
 - ``bench``     — run a benchmark suite (``kernels``: forward-pass modes)
 - ``regress``   — gate fresh benchmark output against a baseline
 - ``lint``      — darpalint static analysis (determinism rules DL001-6)
 - ``survey``    — user-study findings (Section III-B)
 
-File-reading commands exit 1 on missing or malformed inputs (with the
-reason on stderr); argparse exits 2 on usage errors, as usual.
+Error-path exit codes follow ``repro regress``: commands that read or
+write artifact files exit 2 with the reason on stderr when a path is
+missing or unreadable (``trace``, ``metrics``, ``dash``); argparse
+exits 2 on usage errors, as usual.
 """
 
 from __future__ import annotations
@@ -214,9 +217,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         stage_cpu_ms,
     )
 
-    detector = "oracle" if args.model is None else _load_model(args.model)
     if args.model is None:
+        detector = "oracle"
         print("No --model given; using the ground-truth oracle detector.")
+    else:
+        try:
+            detector = _load_model(args.model)
+        except OSError as exc:
+            print(f"trace: cannot read model {args.model}: {exc}",
+                  file=sys.stderr)
+            return 2
+    # Open the span dump before replaying anything: an unwritable
+    # artifact path must fail fast (exit 2, as `repro regress` does for
+    # unreadable inputs), not after a full traced session.
+    try:
+        out_fp = open(args.output, "w")
+    except OSError as exc:
+        print(f"trace: cannot write trace {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
     sessions = build_runtime_fleet(n_apps=max(1, args.session + 1),
                                    seed=args.seed)
     session = sessions[args.session]
@@ -224,7 +243,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"at ct={args.ct}ms...")
     result = run_darpa_session(session, detector, ct_ms=args.ct, mode="full",
                                monkey_seed=1000 + args.session, trace=True)
-    with open(args.output, "w") as fp:
+    with out_fp as fp:
         for span in result.spans:
             fp.write(json.dumps(span, sort_keys=True) + "\n")
     print(f"Wrote {len(result.spans)} spans to {args.output}")
@@ -295,13 +314,23 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         registry_prometheus_lines,
     )
 
+    out_fp = None
+    if args.output:
+        # Fail fast on an unwritable exposition path (exit 2, mirroring
+        # `repro regress`) instead of discovering it after the fleet ran.
+        try:
+            out_fp = open(args.output, "w")
+        except OSError as exc:
+            print(f"metrics: cannot write exposition {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
     results, _, fleet = _run_telemetry_fleet(args)
     lines = fleet.prometheus_lines()
     merged = merge_registry_snapshots([r.metrics for r in results])
     lines += registry_prometheus_lines(merged)
     text = "\n".join(lines) + "\n"
-    if args.output:
-        with open(args.output, "w") as fp:
+    if out_fp is not None:
+        with out_fp as fp:
             fp.write(text)
         print(f"Wrote {len(lines)} exposition lines to {args.output}")
     else:
@@ -409,6 +438,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print(f"slowest reactions: session {exemplar['session']} "
               f"span {exemplar['span_id']} ({exemplar['trace_id']})")
     return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.ops.cli import run_dash
+
+    return run_dash(args.dir, ct_ms=args.ct, host=args.host, port=args.port,
+                    once=args.once)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -582,6 +618,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="summarize an existing span JSONL instead of "
                             "running a fleet")
 
+    p_dash = sub.add_parser(
+        "dash", help="live ops dashboard over a run's artifacts")
+    p_dash.add_argument("--dir", required=True,
+                        help="run directory (telemetry.json or shard "
+                             "parts, trace JSONL, daemon.json, ...)")
+    p_dash.add_argument("--ct", type=float, default=200.0,
+                        help="debounce cut-off the run used (sets the "
+                             "reaction budget on the overview)")
+    p_dash.add_argument("--host", default="127.0.0.1")
+    p_dash.add_argument("--port", type=int, default=8765)
+    p_dash.add_argument("--once", default=None, metavar="OUTDIR",
+                        help="dump every /api route to OUTDIR and exit "
+                             "(golden-response generation / CI diff)")
+
     p_bench = sub.add_parser(
         "bench", help="run a benchmark suite and emit its payload")
     p_bench.add_argument("suite", choices=("kernels",),
@@ -637,6 +687,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "slo": _cmd_slo,
     "top": _cmd_top,
+    "dash": _cmd_dash,
     "bench": _cmd_bench,
     "regress": _cmd_regress,
     "lint": _cmd_lint,

@@ -1,0 +1,319 @@
+"""Run-directory artifact loader for the ops dashboard.
+
+A fleet run leaves a directory of deterministic artifacts behind:
+
+- ``telemetry.json`` — the merged :class:`FleetTelemetry` snapshot, or
+  (mid-run / pre-merge) per-shard ``shard-*.telemetry.json`` parts;
+- ``trace.jsonl`` / ``shard-*.trace.jsonl`` — span JSONL, one line per
+  span, each line carrying its global ``session`` index;
+- ``metrics.jsonl`` / ``shard-*.metrics.jsonl`` — one
+  :class:`MetricsRegistry` snapshot line per session;
+- ``daemon.json`` / ``drain.json`` — the serving daemon's scheduling
+  records and drain manifest (absent for plain fleet runs);
+- ``slo.json`` — an optional pre-computed SLO report (``repro slo
+  --json``); when absent the report is derived here from the per-session
+  telemetry series with the stock objectives.
+
+:func:`load_run` folds all of that into one frozen :class:`RunModel`.
+Every fold is order-canonical — part files are sorted by name before
+reading and the sketch algebra is exactly associative — so the model
+(and therefore every route response built from it) is byte-identical
+no matter how the directory listing enumerated the shard parts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.android.device import DeviceProfile
+from repro.core.observability import op_cpu_ms
+from repro.core.telemetry import (
+    FleetTelemetry,
+    REACTION_SLACK_MS,
+    RESILIENCE_TELEMETRY_COUNTERS,
+    SessionTelemetry,
+    SloEngine,
+    TELEMETRY_COUNTERS,
+    default_slos,
+    sketches_from_spans,
+)
+
+#: Schema version stamped on every route payload.
+OPS_VERSION = 1
+
+
+class RunDirectoryError(ValueError):
+    """The run directory is missing, unreadable, or has no artifacts."""
+
+
+@dataclass(frozen=True)
+class SpanView:
+    """One span of the trace waterfall (immutable projection).
+
+    ``depth`` is the nesting level under the session root and
+    ``cpu_ms`` the cost-model CPU attributed to this span alone (not
+    its subtree) — both precomputed so the route layer stays a pure
+    re-projection.
+    """
+
+    session: int
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: str
+    name: str
+    start_ms: float
+    end_ms: float
+    depth: int
+    cpu_ms: float
+    attributes: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """One session's spans, ordered for waterfall rendering."""
+
+    session: int
+    trace_id: str
+    start_ms: float
+    end_ms: float
+    spans: Tuple[SpanView, ...]
+
+
+@dataclass(frozen=True)
+class RunModel:
+    """Everything the route layer needs, loaded once, immutable.
+
+    ``fleet`` is a :class:`FleetTelemetry`; it is mutable by type but
+    treated as frozen here — routes only read it.
+    """
+
+    ct_ms: float
+    reaction_budget_ms: float
+    fleet: FleetTelemetry
+    sessions: Tuple[int, ...]
+    traces: Mapping[int, SessionTrace]
+    slo: Mapping[str, object]
+    daemon: Optional[Mapping[str, object]]
+    drain: Optional[Mapping[str, object]]
+
+    def span_ids(self, session: int) -> frozenset:
+        trace = self.traces.get(session)
+        if trace is None:
+            return frozenset()
+        return frozenset(span.span_id for span in trace.spans)
+
+
+# ---------------------------------------------------------------------------
+# Artifact readers
+# ---------------------------------------------------------------------------
+
+def _classify(names: Sequence[str]) -> Dict[str, List[str]]:
+    """Sort artifact file names into kinds (order-canonical)."""
+    plan: Dict[str, List[str]] = {
+        "telemetry": [], "trace": [], "metrics": [], "single": []}
+    for name in sorted(names):
+        if name == "telemetry.json" or (name.startswith("shard-")
+                                        and name.endswith(".telemetry.json")):
+            plan["telemetry"].append(name)
+        elif name == "trace.jsonl" or (name.startswith("shard-")
+                                       and name.endswith(".trace.jsonl")):
+            plan["trace"].append(name)
+        elif name == "metrics.jsonl" or (name.startswith("shard-")
+                                         and name.endswith(".metrics.jsonl")):
+            plan["metrics"].append(name)
+        elif name in ("daemon.json", "drain.json", "slo.json"):
+            plan["single"].append(name)
+    return plan
+
+
+def _read_jsonl(path: str) -> List[Dict[str, object]]:
+    records = []
+    with open(path) as fp:
+        for lineno, line in enumerate(fp, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RunDirectoryError(
+                    f"{path}:{lineno}: malformed JSONL ({exc})")
+            if not isinstance(record, dict):
+                raise RunDirectoryError(
+                    f"{path}:{lineno}: expected an object per line")
+            records.append(record)
+    return records
+
+
+def _session_counters(snapshot: Mapping[str, object]) -> Dict[str, int]:
+    """Telemetry counters of one session's registry snapshot."""
+    counters: Dict[str, int] = {name: 0 for name in TELEMETRY_COUNTERS}
+    recorded = snapshot.get("counters", {})
+    for name in TELEMETRY_COUNTERS:
+        namespace = ("darpa.resilience."
+                     if name in RESILIENCE_TELEMETRY_COUNTERS
+                     else "darpa.pipeline.")
+        value = recorded.get(namespace + name)  # type: ignore[union-attr]
+        if value is not None:
+            counters[name] = int(value)
+    return counters
+
+
+def _build_trace(session: int, spans: Sequence[Mapping[str, object]],
+                 costs: Mapping[str, float]) -> SessionTrace:
+    depth: Dict[int, int] = {}
+    by_id = {int(s["span_id"]): s for s in spans}  # type: ignore[arg-type]
+
+    def depth_of(span_id: int) -> int:
+        if span_id in depth:
+            return depth[span_id]
+        parent = by_id[span_id]["parent_id"]
+        level = 0 if parent is None else depth_of(int(parent)) + 1  # type: ignore[arg-type]
+        depth[span_id] = level
+        return level
+
+    views = []
+    root_trace, lo, hi = "", 0.0, 0.0
+    for span in spans:
+        span_id = int(span["span_id"])  # type: ignore[arg-type]
+        cpu = sum(int(n) * costs[op]
+                  for op, n in span.get("ops", {}).items())  # type: ignore[union-attr]
+        view = SpanView(
+            session=session,
+            span_id=span_id,
+            parent_id=(None if span["parent_id"] is None
+                       else int(span["parent_id"])),  # type: ignore[arg-type]
+            trace_id=str(span["trace_id"]),
+            name=str(span["name"]),
+            start_ms=float(span["start_ms"]),  # type: ignore[arg-type]
+            end_ms=float(span["end_ms"]),  # type: ignore[arg-type]
+            depth=depth_of(span_id),
+            cpu_ms=cpu,
+            attributes=dict(span.get("attributes", {})),  # type: ignore[arg-type]
+        )
+        views.append(view)
+        if view.parent_id is None and view.name == "session":
+            root_trace, lo, hi = view.trace_id, view.start_ms, view.end_ms
+    views.sort(key=lambda v: (v.start_ms, v.span_id))
+    return SessionTrace(session=session, trace_id=root_trace,
+                        start_ms=lo, end_ms=hi, spans=tuple(views))
+
+
+def load_run(
+    run_dir: str,
+    ct_ms: float = 200.0,
+    profile: Optional[DeviceProfile] = None,
+    names: Optional[Sequence[str]] = None,
+) -> RunModel:
+    """Load a run directory into a :class:`RunModel`.
+
+    ``names`` overrides the directory listing (the goldens shuffle it to
+    prove the model is listing-order invariant); the loader sorts it
+    before reading either way.  Raises :class:`RunDirectoryError` when
+    the directory is unreadable or holds no recognizable artifacts.
+    """
+    profile = profile or DeviceProfile()
+    try:
+        listing = list(names) if names is not None else os.listdir(run_dir)
+    except OSError as exc:
+        raise RunDirectoryError(f"cannot list run directory: {exc}")
+    plan = _classify(listing)
+    if not any(plan.values()):
+        raise RunDirectoryError(
+            f"no run artifacts (telemetry/trace/daemon) in {run_dir}")
+
+    # Fleet telemetry: merged snapshot and/or shard parts.  In a real
+    # directory the two are mutually exclusive (the merge deletes the
+    # parts); folding whatever is present keeps mid-run directories
+    # loadable, and the sketch algebra makes the fold order-free.
+    fleet = FleetTelemetry()
+    for name in plan["telemetry"]:
+        with open(os.path.join(run_dir, name)) as fp:
+            try:
+                snap = json.load(fp)
+            except json.JSONDecodeError as exc:
+                raise RunDirectoryError(f"{name}: malformed JSON ({exc})")
+        fleet.merge(FleetTelemetry.from_snapshot(snap))
+
+    # Spans, grouped by global session index.  Line order within a
+    # session (span finish order) is preserved — the telemetry
+    # derivation depends on it — and part files are read in sorted-name
+    # order, which IS global session order for shard parts.
+    spans_by_session: Dict[int, List[Dict[str, object]]] = {}
+    for name in plan["trace"]:
+        for record in _read_jsonl(os.path.join(run_dir, name)):
+            session = int(record.pop("session", 0))  # type: ignore[arg-type]
+            spans_by_session.setdefault(session, []).append(record)
+
+    metrics_by_session: Dict[int, Mapping[str, object]] = {}
+    for name in plan["metrics"]:
+        for record in _read_jsonl(os.path.join(run_dir, name)):
+            session = int(record.get("session", 0))  # type: ignore[arg-type]
+            metrics_by_session[session] = record.get("metrics", {})  # type: ignore[assignment]
+
+    costs = op_cpu_ms(profile)
+    sessions = tuple(sorted(spans_by_session))
+    traces = {
+        session: _build_trace(session, spans_by_session[session], costs)
+        for session in sessions
+    }
+
+    singles: Dict[str, Mapping[str, object]] = {}
+    for name in plan["single"]:
+        with open(os.path.join(run_dir, name)) as fp:
+            try:
+                singles[name] = json.load(fp)
+            except json.JSONDecodeError as exc:
+                raise RunDirectoryError(f"{name}: malformed JSON ({exc})")
+
+    slo = singles.get("slo.json")
+    if slo is None:
+        series = [
+            SessionTelemetry(
+                session=session,
+                sketches=sketches_from_spans(
+                    spans_by_session[session], profile=profile,
+                    session=session),
+                counters=_session_counters(
+                    metrics_by_session.get(session, {})))
+            for session in sessions
+        ]
+        engine = SloEngine(default_slos(ct_ms=ct_ms, profile=profile))
+        slo = engine.evaluate(series).to_dict()
+
+    # A telemetry-free directory (daemon-only, or a bare trace) still
+    # loads: the fleet snapshot is then rebuilt from the traces so the
+    # overview route has sketches to project.
+    if not plan["telemetry"] and sessions:
+        for session in sessions:
+            fleet.observe_session(SessionTelemetry(
+                session=session,
+                sketches=sketches_from_spans(
+                    spans_by_session[session], profile=profile,
+                    session=session),
+                counters=_session_counters(
+                    metrics_by_session.get(session, {}))))
+
+    return RunModel(
+        ct_ms=float(ct_ms),
+        reaction_budget_ms=(float(ct_ms) + profile.screenshot_cpu_ms
+                            + profile.inference_cpu_ms + REACTION_SLACK_MS),
+        fleet=fleet,
+        sessions=sessions,
+        traces=traces,
+        slo=slo,
+        daemon=singles.get("daemon.json"),
+        drain=singles.get("drain.json"),
+    )
+
+
+__all__ = [
+    "OPS_VERSION",
+    "RunDirectoryError",
+    "SpanView",
+    "SessionTrace",
+    "RunModel",
+    "load_run",
+]

@@ -1,0 +1,61 @@
+"""``repro dash`` — serve or dump the ops dashboard for a run directory.
+
+- ``repro dash --dir out/``            serve live on ``--port``
+- ``repro dash --dir out/ --once d/``  render every route to ``d/`` and
+  exit — exactly the bytes the golden harness commits, so CI can diff a
+  fresh dump against ``tests/ops/goldens``.
+
+Mirrors the ``repro regress`` error-path contract: a missing or
+unreadable run directory (or dump destination) exits 2 with the reason
+on stderr.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+from repro.ops.artifacts import RunDirectoryError, load_run
+from repro.ops.routes import dump_routes, golden_name, route_paths
+from repro.ops.server import OpsServer
+
+
+def run_dash(run_dir: str, ct_ms: float = 200.0,
+             host: str = "127.0.0.1", port: int = 8765,
+             once: Optional[str] = None) -> int:
+    try:
+        model = load_run(run_dir, ct_ms=ct_ms)
+    except RunDirectoryError as exc:
+        print(f"dash: cannot load run directory {run_dir}: {exc}",
+              file=sys.stderr)
+        return 2
+    if once is not None:
+        dumped = dump_routes(model)
+        try:
+            os.makedirs(once, exist_ok=True)
+            for path in route_paths(model):
+                out_path = os.path.join(once, golden_name(path))
+                with open(out_path, "wb") as fp:
+                    fp.write(dumped[path])
+        except OSError as exc:
+            print(f"dash: cannot write route dump to {once}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"Wrote {len(dumped)} route responses to {once}")
+        return 0
+    server = OpsServer(model, run_dir, host=host, port=port)
+    print(f"darpa ops dashboard over {run_dir} at {server.address} "
+          f"(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    # Ctrl-C IS the shutdown protocol for a foreground server; the
+    # finally-close below is the recorded outcome.
+    except KeyboardInterrupt:  # darpalint: disable=DL005
+        pass
+    finally:
+        server.httpd.server_close()
+    return 0
+
+
+__all__ = ["run_dash"]

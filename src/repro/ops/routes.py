@@ -1,0 +1,352 @@
+"""Pure route handlers: :class:`RunModel` -> canonical JSON bytes.
+
+Every endpoint is a pure function of the loaded model, and every
+response is serialized with :func:`canonical_bytes` (sorted keys,
+compact separators, one trailing newline, ``allow_nan=False``), so a
+response is byte-identical across runs, platforms and shard-part input
+orders — which is what lets the golden harness in ``tests/ops`` pin the
+whole dashboard.
+
+Endpoints:
+
+- ``/api/routes``              — index of every concrete route
+- ``/api/overview``            — KPI cards (reaction p95/p99 vs budget)
+- ``/api/slo``                 — SLO compliance + burn-rate alert timeline
+- ``/api/traces/{session}``    — span waterfall for one session
+- ``/api/quantiles/{metric}``  — sketch buckets with exemplar links
+- ``/api/daemon``              — lane occupancy / shed / rejection records
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.telemetry import (
+    DEBOUNCE_SKETCH,
+    INFERENCE_SKETCH,
+    REACTION_SKETCH,
+    SCREENSHOT_SKETCH,
+)
+from repro.ops.artifacts import OPS_VERSION, RunModel
+
+#: Short metric names of the quantile drill-down routes.
+METRIC_SKETCHES: Mapping[str, str] = {
+    "reaction": REACTION_SKETCH,
+    "debounce": DEBOUNCE_SKETCH,
+    "screenshot": SCREENSHOT_SKETCH,
+    "inference": INFERENCE_SKETCH,
+}
+
+
+class RouteError(Exception):
+    """A request the route table cannot serve (carries an HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def canonical_bytes(payload: Mapping[str, object]) -> bytes:
+    """The one serialization every response goes through."""
+    return (json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                       allow_nan=False) + "\n").encode("utf-8")
+
+
+def _sketch_card(name: str, sketch) -> Dict[str, object]:
+    return {
+        "sketch": name,
+        "count": sketch.count,
+        "p50_ms": sketch.quantile(0.5),
+        "p95_ms": sketch.quantile(0.95),
+        "p99_ms": sketch.quantile(0.99),
+        "max_ms": 0.0 if sketch.max is None else sketch.max,
+        "sum_ms": sketch.sum,
+    }
+
+
+def _ratio(bad: int, total: int) -> float:
+    return 1.0 if total == 0 else 1.0 - bad / total
+
+
+# ---------------------------------------------------------------------------
+# Endpoints
+# ---------------------------------------------------------------------------
+
+def overview(model: RunModel) -> Dict[str, object]:
+    """KPI cards: tail reaction latency vs the paper's budget, per-stage
+    latency summaries, fleet health ratios, alert totals."""
+    fleet = model.fleet
+    reaction = fleet.sketches[REACTION_SKETCH]
+    within = reaction.count_le(model.reaction_budget_ms)
+    share = 1.0 if reaction.count == 0 else within / reaction.count
+    counters = fleet.counters
+    cards = {
+        short: _sketch_card(name, fleet.sketches[name])
+        for short, name in sorted(METRIC_SKETCHES.items())
+    }
+    analyzed = counters.get("screens_analyzed", 0)
+    drawn = counters.get("decorations_drawn", 0)
+    rejected = counters.get("overlay_rejections", 0)
+    return {
+        "version": OPS_VERSION,
+        "ct_ms": model.ct_ms,
+        "sessions": fleet.sessions,
+        "traced_sessions": list(model.sessions),
+        "reaction_budget": {
+            "budget_ms": model.reaction_budget_ms,
+            "within_budget": within,
+            "total": reaction.count,
+            "share": share,
+            "met": share >= 0.95,
+        },
+        "latency": cards,
+        "health": {
+            "screens_analyzed": analyzed,
+            "decoration_success": _ratio(rejected, drawn + rejected),
+            "fallback_share": (0 if analyzed == 0 else
+                               counters.get("fallback_detections", 0)
+                               / analyzed),
+            "capture_failures": counters.get("screenshot_failures", 0),
+            "watchdog_aborts": counters.get("deadline_skips", 0),
+            "breaker_opens": counters.get("breaker_opens", 0),
+        },
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "slo": {
+            "all_met": bool(model.slo.get("all_met", True)),
+            "alerts": len(model.slo.get("alerts", ())),  # type: ignore[arg-type]
+        },
+        "daemon_available": model.daemon is not None,
+    }
+
+
+def slo(model: RunModel) -> Dict[str, object]:
+    """SLO compliance plus the burn-rate alert timeline, verbatim from
+    the (derived or pre-computed) report — already deterministic."""
+    return {
+        "version": OPS_VERSION,
+        "ct_ms": model.ct_ms,
+        "all_met": model.slo.get("all_met"),
+        "slos": model.slo.get("slos", []),
+        "alerts": model.slo.get("alerts", []),
+    }
+
+
+def traces(model: RunModel, session: int) -> Dict[str, object]:
+    """The span waterfall of one session, in (start, span_id) order."""
+    trace = model.traces.get(session)
+    if trace is None:
+        raise RouteError(404, f"no trace for session {session}")
+    rows: List[Dict[str, object]] = []
+    for span in trace.spans:
+        rows.append({
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "depth": span.depth,
+            "start_ms": span.start_ms,
+            "end_ms": span.end_ms,
+            "offset_ms": span.start_ms - trace.start_ms,
+            "duration_ms": span.end_ms - span.start_ms,
+            "cpu_ms": span.cpu_ms,
+            "attributes": dict(span.attributes),
+        })
+    return {
+        "version": OPS_VERSION,
+        "session": session,
+        "trace_id": trace.trace_id,
+        "start_ms": trace.start_ms,
+        "end_ms": trace.end_ms,
+        "duration_ms": trace.end_ms - trace.start_ms,
+        "spans": rows,
+    }
+
+
+def quantiles(model: RunModel, metric: str) -> Dict[str, object]:
+    """Bucket-level drill-down of one latency sketch.
+
+    Each occupied bucket carries its deterministic bounds, count, and —
+    when the sketch recorded one — the (session, span_id) exemplar the
+    merge algebra kept, resolved against the loaded traces so the UI
+    can link straight into the waterfall.
+    """
+    name = METRIC_SKETCHES.get(metric)
+    if name is None:
+        raise RouteError(404, f"unknown metric {metric!r}")
+    sketch = model.fleet.sketches[name]
+    gamma = (1.0 + sketch.alpha) / (1.0 - sketch.alpha)
+    buckets: List[Dict[str, object]] = []
+    if sketch.zero_count:
+        buckets.append({"index": None, "lo_ms": 0.0, "hi_ms": 0.0,
+                        "value_ms": 0.0, "count": sketch.zero_count,
+                        "exemplar": None})
+    for index in sorted(sketch.counts):
+        exemplar = sketch.exemplars.get(index)
+        entry: Dict[str, object] = {
+            "index": index,
+            "lo_ms": gamma ** (index - 1),
+            "hi_ms": gamma ** index,
+            "value_ms": sketch.bucket_value(index),
+            "count": sketch.counts[index],
+            "exemplar": None,
+        }
+        if exemplar is not None:
+            session = int(exemplar.get("session", 0))  # type: ignore[arg-type]
+            span_id = int(exemplar.get("span_id", 0))  # type: ignore[arg-type]
+            resolves = span_id in model.span_ids(session)
+            entry["exemplar"] = {
+                "session": session,
+                "span_id": span_id,
+                "trace_id": exemplar.get("trace_id"),
+                "resolves": resolves,
+                "href": (f"/api/traces/{session}" if resolves else None),
+            }
+        buckets.append(entry)
+    return {
+        "version": OPS_VERSION,
+        "metric": metric,
+        "sketch": name,
+        "alpha": sketch.alpha,
+        "count": sketch.count,
+        "zero_count": sketch.zero_count,
+        "sum_ms": sketch.sum,
+        "min_ms": sketch.min,
+        "max_ms": sketch.max,
+        "quantiles": {"p50_ms": sketch.quantile(0.5),
+                      "p95_ms": sketch.quantile(0.95),
+                      "p99_ms": sketch.quantile(0.99)},
+        "buckets": buckets,
+    }
+
+
+def daemon(model: RunModel) -> Dict[str, object]:
+    """Scheduling view: lane occupancy, outcomes, rejections, batches.
+
+    Plain fleet runs have no daemon records; the route then reports
+    ``available: false`` rather than 404 so the panel can say so.
+    """
+    record = model.daemon
+    if record is None:
+        return {"version": OPS_VERSION, "available": False}
+    sessions = record.get("sessions", [])
+    lanes: Dict[str, Dict[str, object]] = {}
+    for entry in sessions:  # type: ignore[union-attr]
+        lane = lanes.setdefault(str(entry.get("lane")), {
+            "sessions": 0, "outcomes": {}, "deferred_ms_total": 0.0,
+            "deferred_ms_max": 0.0})
+        lane["sessions"] = int(lane["sessions"]) + 1  # type: ignore[arg-type]
+        outcome = str(entry.get("outcome"))
+        lane["outcomes"][outcome] = (  # type: ignore[index]
+            lane["outcomes"].get(outcome, 0) + 1)  # type: ignore[union-attr]
+        deferred = float(entry.get("deferred_ms", 0.0))  # type: ignore[arg-type]
+        # Summation order is the daemon.json record order, which is
+        # itself deterministic — no re-association across loads.
+        lane["deferred_ms_total"] = (
+            float(lane["deferred_ms_total"]) + deferred)  # type: ignore[arg-type]
+        lane["deferred_ms_max"] = max(
+            float(lane["deferred_ms_max"]), deferred)  # type: ignore[arg-type]
+    batches = record.get("batches", [])
+    occupancy: Dict[str, int] = {}
+    faults: Dict[str, int] = {}
+    for batch in batches:  # type: ignore[union-attr]
+        size = str(len(batch.get("indices", ())))
+        occupancy[size] = occupancy.get(size, 0) + 1
+        fault = str(batch.get("fault", "ok"))
+        faults[fault] = faults.get(fault, 0) + 1
+    return {
+        "version": OPS_VERSION,
+        "available": True,
+        "config": record.get("config"),
+        "counters": record.get("counters"),
+        "shed_rate": record.get("shed_rate"),
+        "mean_batch_occupancy": record.get("mean_batch_occupancy"),
+        "lanes": {name: lanes[name] for name in sorted(lanes)},
+        "rejections": record.get("rejections", []),
+        "batches": {"total": len(batches),  # type: ignore[arg-type]
+                    "occupancy": {k: occupancy[k]
+                                  for k in sorted(occupancy)},
+                    "faults": {k: faults[k] for k in sorted(faults)}},
+        "drain": model.drain,
+    }
+
+
+def routes_index(model: RunModel) -> Dict[str, object]:
+    """Every concrete route this run directory can answer."""
+    return {
+        "version": OPS_VERSION,
+        "routes": route_paths(model),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Route table
+# ---------------------------------------------------------------------------
+
+def route_paths(model: RunModel) -> List[str]:
+    """All concrete ``/api`` paths, in deterministic order."""
+    paths = ["/api/routes", "/api/overview", "/api/slo", "/api/daemon"]
+    paths += [f"/api/quantiles/{metric}"
+              for metric in sorted(METRIC_SKETCHES)]
+    paths += [f"/api/traces/{session}" for session in model.sessions]
+    return paths
+
+
+def resolve(model: RunModel, path: str) -> Dict[str, object]:
+    """Dispatch one ``/api`` path to its handler (pure; no I/O).
+
+    Raises :class:`RouteError` (with an HTTP status) for unknown paths
+    or missing resources.
+    """
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path == "/api/routes":
+        return routes_index(model)
+    if path == "/api/overview":
+        return overview(model)
+    if path == "/api/slo":
+        return slo(model)
+    if path == "/api/daemon":
+        return daemon(model)
+    parts = path.split("/")
+    if len(parts) == 4 and parts[1] == "api" and parts[2] == "quantiles":
+        return quantiles(model, parts[3])
+    if len(parts) == 4 and parts[1] == "api" and parts[2] == "traces":
+        try:
+            session = int(parts[3])
+        except ValueError:
+            raise RouteError(404, f"bad session index {parts[3]!r}")
+        return traces(model, session)
+    raise RouteError(404, f"no such route {path!r}")
+
+
+def golden_name(path: str) -> str:
+    """Stable on-disk file name of one route's golden response."""
+    return path.strip("/").replace("/", "_") + ".json"
+
+
+def dump_routes(model: RunModel) -> Dict[str, bytes]:
+    """Render every concrete route to its canonical bytes.
+
+    This is both the ``repro dash --once`` payload and the generator of
+    the committed goldens — the two sides of the harness share one code
+    path by construction.
+    """
+    return {path: canonical_bytes(resolve(model, path))
+            for path in route_paths(model)}
+
+
+__all__ = [
+    "METRIC_SKETCHES",
+    "RouteError",
+    "canonical_bytes",
+    "overview",
+    "slo",
+    "traces",
+    "quantiles",
+    "daemon",
+    "routes_index",
+    "route_paths",
+    "resolve",
+    "golden_name",
+    "dump_routes",
+]

@@ -1,0 +1,86 @@
+"""Deterministic JSONL tailing for the SSE ``/events`` endpoint.
+
+The tailer is a pure function of (file bytes, cursor): no wall-clock,
+no inotify, no sleeps — the *caller* decides when to poll (the live
+server injects a cadence; tests drive :meth:`JsonlTail.poll`
+synchronously).  The contract the unit tests pin:
+
+- only complete lines (terminated by ``\\n``) become events; a partial
+  line at EOF stays unconsumed until its newline lands, so a writer
+  caught mid-``write`` never produces a torn event;
+- each event's ``cursor`` is the byte offset just past its newline.
+  Constructing a new tailer at any event's cursor (SSE
+  ``Last-Event-ID`` resume) replays exactly the events after it —
+  a killed-and-resumed stream is byte-identical to an uninterrupted
+  read;
+- truncation/rotation (the file shrank below the cursor) resets the
+  cursor to zero and replays from the start of the new file, which is
+  again exactly what a fresh uninterrupted read would deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TailEvent:
+    """One complete JSONL line, with the resume cursor after it."""
+
+    cursor: int
+    data: str
+
+
+class JsonlTail:
+    """Byte-offset tailer over a growing (or rotating) JSONL file."""
+
+    __slots__ = ("path", "cursor")
+
+    def __init__(self, path: str, cursor: int = 0):
+        if cursor < 0:
+            raise ValueError("cursor cannot be negative")
+        self.path = path
+        self.cursor = int(cursor)
+
+    def poll(self) -> List[TailEvent]:
+        """Every complete line written since the cursor (may be empty).
+
+        Advances the cursor past the last complete line only; a
+        trailing partial line is re-read (in full) by the next poll.
+        """
+        try:
+            with open(self.path, "rb") as fp:
+                fp.seek(0, 2)
+                size = fp.tell()
+                if size < self.cursor:
+                    # The file shrank: truncation or rotation.  Replay
+                    # from the top of the new contents.
+                    self.cursor = 0
+                fp.seek(self.cursor)
+                chunk = fp.read()
+        except FileNotFoundError:
+            return []
+        events: List[TailEvent] = []
+        base = self.cursor
+        start = 0
+        while True:
+            newline = chunk.find(b"\n", start)
+            if newline < 0:
+                break
+            line = chunk[start:newline]
+            start = newline + 1
+            if line.strip():
+                events.append(TailEvent(cursor=base + start,
+                                        data=line.decode("utf-8")))
+        self.cursor = base + start
+        return events
+
+
+def format_sse(event: TailEvent) -> bytes:
+    """One Server-Sent-Events frame: the cursor doubles as the event id,
+    so ``Last-Event-ID`` on reconnect IS the resume cursor."""
+    return (f"id: {event.cursor}\ndata: {event.data}\n\n").encode("utf-8")
+
+
+__all__ = ["TailEvent", "JsonlTail", "format_sse"]

@@ -1,0 +1,225 @@
+"""Server tests driven synchronously — fake sockets, no live ports, no
+sleeps.
+
+:func:`respond` and :func:`stream_events` are pure-ish seams
+(``BytesIO`` in, bytes out); :class:`OpsHandler` is exercised through a
+fake socket so the full request path — headers, status line, SSE
+framing, ``Last-Event-ID`` resume — runs without ever binding a port
+or spawning a thread.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.ops.artifacts import load_run
+from repro.ops.routes import canonical_bytes, resolve
+from repro.ops.server import OpsHandler, respond, static_html, stream_events
+from repro.ops.tail import JsonlTail
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RUN_DIR = os.path.join(HERE, "fixtures", "run")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return load_run(RUN_DIR, ct_ms=200.0)
+
+
+# ---------------------------------------------------------------------------
+# respond(): the pure request -> Response seam
+# ---------------------------------------------------------------------------
+
+class TestRespond:
+    def test_root_serves_the_static_panel(self, model):
+        for path in ("/", "/index.html"):
+            response = respond(model, path)
+            assert response.status == 200
+            assert response.content_type.startswith("text/html")
+            assert response.body == static_html()
+            assert b"darpa ops" in response.body
+
+    def test_api_routes_serve_canonical_bytes(self, model):
+        for path in ("/api/overview", "/api/slo", "/api/daemon",
+                     "/api/quantiles/reaction", "/api/traces/0"):
+            response = respond(model, path)
+            assert response.status == 200
+            assert response.content_type == "application/json"
+            assert response.body == canonical_bytes(resolve(model, path))
+
+    def test_unknown_path_is_a_json_404(self, model):
+        response = respond(model, "/api/bogus")
+        assert response.status == 404
+        assert json.loads(response.body) == {
+            "error": "no such route '/api/bogus'", "status": 404}
+
+    def test_query_strings_are_ignored_for_routing(self, model):
+        assert (respond(model, "/api/overview?x=1").body
+                == respond(model, "/api/overview").body)
+
+
+# ---------------------------------------------------------------------------
+# stream_events(): BytesIO in, SSE frames out
+# ---------------------------------------------------------------------------
+
+def counting_cadence(rounds):
+    """A cadence that allows ``rounds`` poll rounds, then stops."""
+    state = {"left": rounds}
+
+    def cadence():
+        state["left"] -= 1
+        return state["left"] > 0
+    return cadence
+
+
+class TestStreamEvents:
+    def test_drains_existing_lines_then_stops(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as fp:
+            fp.write('{"n":1}\n{"n":2}\n')
+        out = io.BytesIO()
+        sent = stream_events(out, JsonlTail(path), counting_cadence(1))
+        assert sent == 2
+        assert out.getvalue() == (b'id: 8\ndata: {"n":1}\n\n'
+                                  b'id: 16\ndata: {"n":2}\n\n')
+
+    def test_max_events_caps_the_stream_mid_poll(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as fp:
+            fp.write('{"n":1}\n{"n":2}\n{"n":3}\n')
+        out = io.BytesIO()
+        sent = stream_events(out, JsonlTail(path), counting_cadence(99),
+                             max_events=2)
+        assert sent == 2
+        assert out.getvalue().count(b"data: ") == 2
+
+    def test_picks_up_lines_written_between_polls(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as fp:
+            fp.write('{"n":1}\n')
+        tail = JsonlTail(path)
+
+        def write_then_continue():
+            with open(path, "a") as fp:
+                fp.write('{"n":2}\n')
+            return cadence_inner()
+        cadence_inner = counting_cadence(2)
+        out = io.BytesIO()
+        sent = stream_events(out, tail, write_then_continue)
+        assert sent == 2
+
+    def test_closed_sink_ends_the_stream(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as fp:
+            fp.write('{"n":1}\n')
+        out = io.BytesIO()
+        out.close()
+        # flush() on a closed BytesIO raises ValueError -> clean stop.
+        sent = stream_events(out, JsonlTail(path, cursor=8),
+                             counting_cadence(99))
+        assert sent == 0
+
+
+# ---------------------------------------------------------------------------
+# OpsHandler through a fake socket
+# ---------------------------------------------------------------------------
+
+class FakeSocket:
+    """Just enough socket for ``StreamRequestHandler``: reads come from
+    the canned request, writes land in ``sent``."""
+
+    def __init__(self, request: bytes):
+        self._request = request
+        self.sent = bytearray()
+
+    def makefile(self, mode, *args, **kwargs):
+        assert "r" in mode
+        return io.BytesIO(self._request)
+
+    def sendall(self, data):
+        self.sent += data
+
+
+def serve(handler_cls, request_line, headers=()):
+    request = request_line.encode() + b"\r\n"
+    for name, value in headers:
+        request += f"{name}: {value}\r\n".encode()
+    request += b"\r\n"
+    sock = FakeSocket(request)
+    handler_cls(sock, ("127.0.0.1", 0), None)
+    raw = bytes(sock.sent)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    header_map = {}
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.decode().partition(": ")
+        header_map[name.lower()] = value
+    return status, header_map, body
+
+
+@pytest.fixture(scope="module")
+def handler_cls(model):
+    trace = os.path.join(RUN_DIR, "shard-000000.trace.jsonl")
+    return type("TestOpsHandler", (OpsHandler,), {
+        "model": model,
+        "trace_path": trace,
+        "cadence": staticmethod(lambda: False),
+        "max_events": None,
+    })
+
+
+class TestHandler:
+    def test_api_response_with_headers(self, model, handler_cls):
+        status, headers, body = serve(handler_cls,
+                                      "GET /api/overview HTTP/1.0")
+        expected = canonical_bytes(resolve(model, "/api/overview"))
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert headers["content-length"] == str(len(expected))
+        assert body == expected
+
+    def test_static_page(self, handler_cls):
+        status, headers, body = serve(handler_cls, "GET / HTTP/1.0")
+        assert status == 200
+        assert headers["content-type"].startswith("text/html")
+        assert body == static_html()
+
+    def test_404_status_line(self, handler_cls):
+        status, _, body = serve(handler_cls, "GET /api/bogus HTTP/1.0")
+        assert status == 404
+        assert json.loads(body)["status"] == 404
+
+    def test_events_streams_sse_frames(self, handler_cls):
+        status, headers, body = serve(handler_cls,
+                                      "GET /events?limit=3 HTTP/1.0")
+        assert status == 200
+        assert headers["content-type"] == "text/event-stream"
+        assert body.count(b"\n\n") == 3
+        assert body.startswith(b"id: ")
+
+    def test_killed_and_resumed_stream_is_byte_identical(self,
+                                                         handler_cls):
+        # One uninterrupted read of the first 6 events...
+        _, _, whole = serve(handler_cls, "GET /events?limit=6 HTTP/1.0")
+        frames = whole.split(b"\n\n")[:-1]
+        # ...versus a stream killed after 3 and resumed via the SSE
+        # reconnect protocol (Last-Event-ID = last seen event id).
+        _, _, first = serve(handler_cls, "GET /events?limit=3 HTTP/1.0")
+        last_id = first.split(b"\n\n")[-2].split(b"\n")[0]
+        cursor = int(last_id.split(b": ")[1])
+        _, _, second = serve(handler_cls, "GET /events?limit=3 HTTP/1.0",
+                             headers=[("Last-Event-ID", str(cursor))])
+        assert first + second == whole
+        assert len(frames) == 6
+
+    def test_cursor_query_parameter_also_resumes(self, handler_cls):
+        _, _, first = serve(handler_cls, "GET /events?limit=1 HTTP/1.0")
+        cursor = int(first.split(b"\n")[0].split(b": ")[1])
+        _, _, by_header = serve(handler_cls, "GET /events?limit=1 HTTP/1.0",
+                                headers=[("Last-Event-ID", str(cursor))])
+        _, _, by_query = serve(
+            handler_cls, f"GET /events?limit=1&cursor={cursor} HTTP/1.0")
+        assert by_query == by_header
+        assert by_query != first

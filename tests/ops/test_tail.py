@@ -1,0 +1,124 @@
+"""Unit tests for the SSE tail cursor (:mod:`repro.ops.tail`).
+
+The cursor contract: an event's cursor is the byte offset just past its
+line's newline, so resuming a new :class:`JsonlTail` from any event's
+cursor replays exactly the bytes an uninterrupted reader would have
+seen — which is what makes ``Last-Event-ID`` reconnects lossless.
+"""
+
+import os
+
+from repro.ops.tail import JsonlTail, TailEvent, format_sse
+
+
+def append(path, text):
+    with open(path, "a") as fp:
+        fp.write(text)
+
+
+def make(path, text=""):
+    with open(path, "w") as fp:
+        fp.write(text)
+    return str(path)
+
+
+class TestPolling:
+    def test_complete_lines_become_events(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", '{"a":1}\n{"a":2}\n')
+        events = JsonlTail(path).poll()
+        assert [e.data for e in events] == ['{"a":1}', '{"a":2}']
+        assert [e.cursor for e in events] == [8, 16]
+
+    def test_missing_file_is_quietly_empty(self, tmp_path):
+        tail = JsonlTail(str(tmp_path / "absent.jsonl"))
+        assert tail.poll() == []
+        assert tail.cursor == 0
+
+    def test_poll_is_incremental(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", '{"a":1}\n')
+        tail = JsonlTail(path)
+        assert len(tail.poll()) == 1
+        assert tail.poll() == []          # nothing new
+        append(path, '{"a":2}\n')
+        assert [e.data for e in tail.poll()] == ['{"a":2}']
+
+    def test_blank_lines_are_skipped_but_consumed(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", '{"a":1}\n\n{"a":2}\n')
+        events = JsonlTail(path).poll()
+        assert [e.data for e in events] == ['{"a":1}', '{"a":2}']
+        # The blank line advanced the cursor even though it emitted
+        # nothing — resuming from the last event must not re-read it.
+        assert events[-1].cursor == os.path.getsize(path)
+
+
+class TestPartialWrites:
+    def test_partial_line_is_withheld_until_terminated(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", '{"a":1}\n{"a":2')
+        tail = JsonlTail(path)
+        assert [e.data for e in tail.poll()] == ['{"a":1}']
+        assert tail.poll() == []          # still mid-line
+        append(path, '}\n')
+        assert [e.data for e in tail.poll()] == ['{"a":2}']
+
+    def test_partial_line_never_moves_the_cursor(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", '{"a":1}\n')
+        tail = JsonlTail(path)
+        tail.poll()
+        append(path, '{"a":2')
+        tail.poll()
+        assert tail.cursor == 8           # parked at the last newline
+
+
+class TestRotation:
+    def test_truncation_restarts_from_zero(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", '{"a":1}\n{"a":2}\n')
+        tail = JsonlTail(path)
+        tail.poll()
+        make(path, '{"b":1}\n')           # rotated: shorter than cursor
+        events = tail.poll()
+        assert [e.data for e in events] == ['{"b":1}']
+        assert events[0].cursor == 8
+
+
+class TestResume:
+    def test_resume_from_cursor_equals_uninterrupted_read(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", "")
+        lines = [f'{{"n":{i}}}\n' for i in range(10)]
+        # One reader stays attached the whole time.
+        attached = JsonlTail(path)
+        seen = []
+        # The other is killed and re-created from its cursor mid-stream.
+        cursor = 0
+        resumed = []
+        for i, line in enumerate(lines):
+            append(path, line)
+            seen += attached.poll()
+            if i % 3 == 0:  # kill + resume at every third write
+                fresh = JsonlTail(path, cursor=cursor)
+            events = fresh.poll()
+            resumed += events
+            if events:
+                cursor = events[-1].cursor
+        assert resumed == seen
+        assert [e.data for e in seen] == [l.rstrip("\n") for l in lines]
+
+    def test_resume_past_end_waits_for_new_data(self, tmp_path):
+        path = make(tmp_path / "t.jsonl", '{"a":1}\n')
+        tail = JsonlTail(path, cursor=8)
+        assert tail.poll() == []
+        append(path, '{"a":2}\n')
+        assert [e.data for e in tail.poll()] == ['{"a":2}']
+
+
+class TestSseFraming:
+    def test_frame_carries_cursor_as_event_id(self):
+        frame = format_sse(TailEvent(cursor=42, data='{"a":1}'))
+        assert frame == b'id: 42\ndata: {"a":1}\n\n'
+
+    def test_event_is_immutable(self):
+        event = TailEvent(cursor=1, data="x")
+        try:
+            event.cursor = 2
+        except AttributeError:
+            return
+        raise AssertionError("TailEvent should be frozen")

@@ -808,6 +808,117 @@ class TestDarpalintProperty:
 
 
 # ---------------------------------------------------------------------------
+# Ops dashboard: the route layer is invariant to how the run directory
+# was sharded and listed, and every exemplar link lands on a real span.
+# ---------------------------------------------------------------------------
+
+N_OPS_CASES = 3
+
+_OPS_RESULTS = None
+
+
+def _ops_results():
+    """One traced 4-session fleet run, cached across the ops cases."""
+    from repro.bench.experiments import (
+        build_runtime_fleet,
+        run_darpa_over_fleet,
+    )
+
+    global _OPS_RESULTS
+    if _OPS_RESULTS is None:
+        fleet = build_runtime_fleet(n_apps=4, seed=SEED_BASE,
+                                    duration_ms=5_000.0)
+        _OPS_RESULTS = list(enumerate(run_darpa_over_fleet(
+            fleet, "oracle", ct_ms=200.0, mode="full", trace=True)))
+    return _OPS_RESULTS
+
+
+def _random_partition(rng: np.random.Generator, n: int):
+    """Random contiguous index partition of ``range(n)`` into shards."""
+    n_cuts = int(rng.integers(0, n))
+    cuts = sorted({int(c) for c in rng.integers(1, n, size=n_cuts)})
+    bounds = [0] + cuts + [n]
+    return list(zip(bounds, bounds[1:]))
+
+
+def _ops_case(index: int, tmp_path):
+    """Write one random sharding as both part files and merged files."""
+    from repro.bench.parallel import (
+        _write_shard_artifacts,
+        merge_trace_artifacts,
+    )
+
+    results = _ops_results()
+    rng = np.random.default_rng(SEED_BASE * 8000 + index)
+    parts_dir, merged_dir = tmp_path / "parts", tmp_path / "merged"
+    parts_dir.mkdir(), merged_dir.mkdir()
+    for lo, hi in _random_partition(rng, len(results)):
+        _write_shard_artifacts(str(parts_dir), results[lo:hi])
+        _write_shard_artifacts(str(merged_dir), results[lo:hi])
+    merge_trace_artifacts(str(merged_dir))
+    return rng, str(parts_dir), str(merged_dir)
+
+
+class TestOpsProperty:
+    @pytest.mark.parametrize("index", range(N_OPS_CASES))
+    def test_routes_from_parts_equal_routes_from_merged(self, index,
+                                                        tmp_path):
+        from repro.ops.artifacts import load_run
+        from repro.ops.routes import dump_routes
+
+        rng, parts_dir, merged_dir = _ops_case(index, tmp_path)
+        from_parts = dump_routes(load_run(parts_dir, ct_ms=200.0))
+        from_merged = dump_routes(load_run(merged_dir, ct_ms=200.0))
+        # Overview KPIs — and every other route — must not care whether
+        # the telemetry arrived as shard parts or as the merged
+        # telemetry.json/trace.jsonl the parts fold into.
+        assert from_parts == from_merged
+
+    @pytest.mark.parametrize("index", range(N_OPS_CASES))
+    def test_listing_order_never_changes_the_bytes(self, index, tmp_path):
+        from repro.ops.artifacts import load_run
+        from repro.ops.routes import dump_routes
+
+        rng, parts_dir, _ = _ops_case(index, tmp_path)
+        names = sorted(os.listdir(parts_dir))
+        baseline = dump_routes(load_run(parts_dir, ct_ms=200.0))
+        for _ in range(3):
+            shuffled = [names[i] for i in rng.permutation(len(names))]
+            assert dump_routes(load_run(parts_dir, ct_ms=200.0,
+                                        names=shuffled)) == baseline
+
+    @pytest.mark.parametrize("index", range(N_OPS_CASES))
+    def test_every_exemplar_resolves_to_a_recorded_span(self, index,
+                                                        tmp_path):
+        from repro.ops.artifacts import load_run
+        from repro.ops.routes import METRIC_SKETCHES, resolve
+
+        _, parts_dir, _ = _ops_case(index, tmp_path)
+        model = load_run(parts_dir, ct_ms=200.0)
+        recorded = {
+            session: {(s["span_id"], s["trace_id"])
+                      for s in result.spans or ()}
+            for session, result in _ops_results()
+        }
+        seen = 0
+        for metric in sorted(METRIC_SKETCHES):
+            payload = resolve(model, f"/api/quantiles/{metric}")
+            for bucket in payload["buckets"]:
+                exemplar = bucket["exemplar"]
+                if exemplar is None:
+                    continue
+                seen += 1
+                assert exemplar["resolves"] is True
+                assert exemplar["href"] == (
+                    f"/api/traces/{exemplar['session']}")
+                # The link lands on a span the run actually recorded,
+                # in the trace it claims to belong to.
+                assert (exemplar["span_id"], exemplar["trace_id"]) in (
+                    recorded[exemplar["session"]])
+        assert seen > 0, "no exemplars survived the merge — vacuous case"
+
+
+# ---------------------------------------------------------------------------
 # Non-vacuousness: the matrix must actually exercise the paths the
 # invariants constrain, whatever seed base is in effect.
 # ---------------------------------------------------------------------------

@@ -1,9 +1,16 @@
 """Tests for the command-line interface."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+
+OPS_FIXTURE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "ops", "fixtures", "run")
+OPS_GOLDENS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "ops", "goldens")
 
 
 class TestParser:
@@ -123,6 +130,28 @@ class TestTelemetryCommands:
         assert main(["top", "--trace", str(not_spans)]) == 1
         assert "not a span record" in capsys.readouterr().err
 
+    def test_trace_unreadable_model_exits_two(self, tmp_path, capsys):
+        rc = main(["trace", "--model", str(tmp_path / "absent.npz"),
+                   "--output", str(tmp_path / "trace.jsonl")])
+        assert rc == 2
+        assert "trace: cannot read model" in capsys.readouterr().err
+
+    def test_trace_unwritable_output_exits_two_fast(self, tmp_path,
+                                                    capsys):
+        # The artifact path is opened before any session is replayed, so
+        # a bad path fails in milliseconds, not after a traced run.
+        rc = main(["trace",
+                   "--output", str(tmp_path / "no" / "dir" / "t.jsonl")])
+        assert rc == 2
+        assert "trace: cannot write trace" in capsys.readouterr().err
+
+    def test_metrics_unwritable_output_exits_two_fast(self, tmp_path,
+                                                      capsys):
+        rc = main(["metrics", "--apps", "2",
+                   "--output", str(tmp_path / "no" / "dir" / "m.prom")])
+        assert rc == 2
+        assert "metrics: cannot write exposition" in capsys.readouterr().err
+
     def test_regress_subcommand_delegates(self, tmp_path, capsys):
         payload = tmp_path / "b.json"
         payload.write_text('{"alerts_total": 9}')
@@ -135,3 +164,49 @@ class TestTelemetryCommands:
         assert main(["regress", "--baseline", str(payload),
                      "--fresh", str(drifted),
                      "--rule", "alerts_total=abs:5"]) == 0
+
+
+class TestDashCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["dash", "--dir", "out"])
+        assert args.command == "dash" and args.dir == "out"
+        assert args.ct == 200.0 and args.port == 8765
+        assert args.host == "127.0.0.1" and args.once is None
+
+    def test_dir_is_required(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["dash"])
+        assert excinfo.value.code == 2
+
+    def test_missing_run_directory_exits_two(self, tmp_path, capsys):
+        rc = main(["dash", "--dir", str(tmp_path / "absent"), "--once",
+                   str(tmp_path / "out")])
+        assert rc == 2
+        assert "dash: cannot load run directory" in capsys.readouterr().err
+
+    def test_artifact_free_directory_exits_two(self, tmp_path, capsys):
+        rc = main(["dash", "--dir", str(tmp_path), "--once",
+                   str(tmp_path / "out")])
+        assert rc == 2
+        assert "no run artifacts" in capsys.readouterr().err
+
+    def test_unwritable_dump_directory_exits_two(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory\n")
+        rc = main(["dash", "--dir", OPS_FIXTURE, "--once",
+                   str(blocker / "out")])
+        assert rc == 2
+        assert "dash: cannot write route dump" in capsys.readouterr().err
+
+    def test_once_dump_matches_the_committed_goldens(self, tmp_path,
+                                                     capsys):
+        out_dir = tmp_path / "routes"
+        rc = main(["dash", "--dir", OPS_FIXTURE, "--once", str(out_dir)])
+        assert rc == 0
+        assert "Wrote" in capsys.readouterr().out
+        dumped = sorted(os.listdir(out_dir))
+        assert dumped == sorted(os.listdir(OPS_GOLDENS))
+        for name in dumped:
+            got = (out_dir / name).read_bytes()
+            with open(os.path.join(OPS_GOLDENS, name), "rb") as fp:
+                assert got == fp.read(), name
