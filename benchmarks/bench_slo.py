@@ -44,6 +44,7 @@ from repro.core.telemetry import (
     default_slos,
     session_telemetries,
 )
+from repro.profiling import PROFILE_KEY, Profile
 
 N_APPS = int(os.environ.get("DARPA_SLO_APPS", "10"))
 CT_MS = 200.0
@@ -59,7 +60,7 @@ PLANS = [
 
 def run_plan(sessions, plan, kwargs):
     """One fleet pass, sequential and sharded; returns the report plus
-    the artifact-parity verdict."""
+    the artifact-parity verdict and the fleet's merged stack profile."""
     with tempfile.TemporaryDirectory() as seq_dir, \
             tempfile.TemporaryDirectory() as par_dir:
         seq_results = run_darpa_over_fleet_parallel(
@@ -70,15 +71,20 @@ def run_plan(sessions, plan, kwargs):
             sessions, "oracle", ct_ms=CT_MS, mode="full",
             fault_plan=plan, darpa_kwargs=kwargs,
             n_workers=2, n_shards=4, trace_dir=par_dir)
+        # profile.json rides the same parity gate as the telemetry: the
+        # profile merge algebra must be shard-order free too.
         parity = all(
             filecmp.cmp(os.path.join(seq_dir, name),
                         os.path.join(par_dir, name), shallow=False)
-            for name in ("telemetry.json", "telemetry.prom"))
+            for name in ("telemetry.json", "telemetry.prom",
+                         "profile.json"))
         with open(os.path.join(seq_dir, "telemetry.json")) as fp:
             fleet = FleetTelemetry.from_snapshot(json.load(fp))
+        with open(os.path.join(seq_dir, "profile.json")) as fp:
+            profile = Profile.from_dict(json.load(fp))
     series = session_telemetries(seq_results)
     report = SloEngine(default_slos(ct_ms=CT_MS)).evaluate(series)
-    return fleet, report, parity
+    return fleet, report, parity, profile
 
 
 def summarize(name, fleet, report, parity):
@@ -99,10 +105,13 @@ def summarize(name, fleet, report, parity):
 def test_slo_fleet(benchmark):
     sessions = build_runtime_fleet(n_apps=N_APPS, seed=0)
 
+    profiles = {}
+
     def run():
         rows = []
         for name, plan, kwargs in PLANS:
-            fleet, report, parity = run_plan(sessions, plan, kwargs)
+            fleet, report, parity, profile = run_plan(sessions, plan, kwargs)
+            profiles[name] = profile
             rows.append(summarize(name, fleet, report, parity))
         return rows
 
@@ -144,6 +153,11 @@ def test_slo_fleet(benchmark):
         "fleet_seed": 0,
         "telemetry_version": TELEMETRY_VERSION,
         "plans": rows,
+        # The zero-fault fleet's stack profile: `repro regress --explain`
+        # diffs a failing fresh payload's profile against this block to
+        # attribute the drift to a frame.  Excluded from the value diff
+        # (like the manifest).
+        PROFILE_KEY: profiles["no faults"].to_dict(),
     }
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")

@@ -49,10 +49,11 @@ def _write_session_artifacts(trace_fp, metrics_fp, index: int,
 
 def _write_shard_artifacts(trace_dir: str,
                            results: List[Tuple[int, SessionResult]]) -> None:
-    """Write one shard's trace/metrics/telemetry part files, named by
-    the shard's first global index (shards are contiguous, so
+    """Write one shard's trace/metrics/telemetry/profile part files,
+    named by the shard's first global index (shards are contiguous, so
     lexicographic part order IS global session order)."""
     from repro.core.telemetry import FleetTelemetry, SessionTelemetry
+    from repro.profiling import Profile, profile_from_result
 
     lo = results[0][0]
     trace_path = os.path.join(trace_dir, f"shard-{lo:06d}.trace.jsonl")
@@ -71,6 +72,15 @@ def _write_shard_artifacts(trace_dir: str,
     with open(telemetry_path, "w") as fp:
         json.dump(shard.snapshot(), fp, sort_keys=True, indent=2)
         fp.write("\n")
+    # Shard-level stack profile: same merge-algebra contract as the
+    # sketches (all-integer state), so the fleet profile.json is
+    # byte-identical for any shard count too.
+    shard_profile = Profile()
+    for index, result in results:
+        shard_profile.merge(profile_from_result(result))
+    profile_path = os.path.join(trace_dir, f"shard-{lo:06d}.profile.json")
+    with open(profile_path, "w") as fp:
+        fp.write(shard_profile.to_json())
 
 
 def write_session_part(trace_dir: str, index: int,
@@ -97,11 +107,14 @@ def merge_trace_artifacts(trace_dir: str) -> Tuple[str, str]:
     index ranges named by their first index — into ``trace.jsonl`` +
     ``metrics.jsonl``; ``shard-*.telemetry.json`` parts are folded with
     :meth:`FleetTelemetry.merge` into ``telemetry.json`` (the versioned
-    snapshot) and ``telemetry.prom`` (Prometheus text exposition).
+    snapshot) and ``telemetry.prom`` (Prometheus text exposition);
+    ``shard-*.profile.json`` parts are folded with
+    :meth:`repro.profiling.Profile.merge` into ``profile.json``.
     Parts are removed afterwards.  Every merged byte is identical for
     any worker/shard count, which the artifact tests assert.
     """
     from repro.core.telemetry import FleetTelemetry
+    from repro.profiling import Profile
 
     out_paths = []
     for kind in ("trace", "metrics"):
@@ -131,6 +144,18 @@ def merge_trace_artifacts(trace_dir: str) -> Tuple[str, str]:
         fp.write("\n")
     with open(os.path.join(trace_dir, "telemetry.prom"), "w") as fp:
         fp.write(fleet.to_prometheus())
+
+    fleet_profile = Profile()
+    profile_parts = sorted(
+        name for name in os.listdir(trace_dir)
+        if name.startswith("shard-") and name.endswith(".profile.json"))
+    for name in profile_parts:
+        part_path = os.path.join(trace_dir, name)
+        with open(part_path) as fp:
+            fleet_profile.merge(Profile.from_dict(json.load(fp)))
+        os.remove(part_path)
+    with open(os.path.join(trace_dir, "profile.json"), "w") as fp:
+        fp.write(fleet_profile.to_json())
     return out_paths[0], out_paths[1]
 
 
@@ -186,10 +211,10 @@ def run_darpa_over_fleet_parallel(
     ``trace=True`` traces every session (results carry spans/metrics).
     ``trace_dir`` (implies tracing) additionally writes per-shard
     ``shard-<first-index>.{trace,metrics}.jsonl`` +
-    ``shard-<first-index>.telemetry.json`` part files and merges them
-    into ``trace.jsonl``, ``metrics.jsonl``, ``telemetry.json`` and
-    ``telemetry.prom`` by global session index — byte-identical for
-    any worker/shard count.
+    ``shard-<first-index>.{telemetry,profile}.json`` part files and
+    merges them into ``trace.jsonl``, ``metrics.jsonl``,
+    ``telemetry.json``, ``telemetry.prom`` and ``profile.json`` by
+    global session index — byte-identical for any worker/shard count.
     """
     if trace_dir is not None:
         trace = True

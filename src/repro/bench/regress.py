@@ -26,6 +26,16 @@ meaningless across experiments.  ``--ignore-manifest`` overrides the
 refusal; the manifest block itself is always excluded from the
 value diff.
 
+Payloads may also embed a deterministic stack profile under
+:data:`repro.profiling.PROFILE_KEY` (``benchmarks/bench_slo.py`` does).
+Like the manifest it is **always** excluded from the value diff; with
+``--explain``, a failing gate additionally diffs the two profiles and
+prints the ranked per-frame attribution report (which stage/kernel
+step ate the milliseconds) to stderr.  ``--explain-out FILE`` writes
+the same attribution as JSON — CI uploads it as the failure artifact.
+``--explain`` never changes the exit code: attribution is a
+diagnostic, the gate is the gate.
+
 Exit codes: 0 = within tolerance, 1 = regression detected,
 2 = usage error (missing/unreadable file, malformed rule),
 3 = provenance manifest mismatch (payloads are not comparable).
@@ -41,6 +51,7 @@ from fnmatch import fnmatchcase
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.provenance import MANIFEST_KEY, manifest_mismatches
+from repro.profiling import PROFILE_KEY, Profile, diff_profiles, report_lines
 
 #: Tolerance classes for a leaf value: ``rel`` is a fraction of the
 #: baseline magnitude, ``abs_tol`` an absolute slack; a value passes
@@ -189,7 +200,59 @@ def build_parser() -> argparse.ArgumentParser:
                              "manifests disagree (exit 3 otherwise)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-violation listing")
+    parser.add_argument("--explain", action="store_true",
+                        help="on failure, diff the embedded profiles and "
+                             "print the ranked per-frame attribution")
+    parser.add_argument("--explain-out", metavar="FILE", default=None,
+                        help="write the failure attribution as JSON "
+                             "(implies --explain)")
+    parser.add_argument("--explain-top", type=int, default=15,
+                        metavar="N", help="frames to print with --explain")
     return parser
+
+
+def _parse_profile(tag: str, payload: object) -> Optional[Profile]:
+    """A popped profile block as a Profile, or None (with a note)."""
+    if payload is None:
+        return None
+    try:
+        return Profile.from_dict(payload)  # type: ignore[arg-type]
+    except (ValueError, TypeError, AttributeError) as exc:
+        print(f"regress: ignoring malformed profile block in {tag}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _explain(baseline_profile: Optional[Profile],
+             fresh_profile: Optional[Profile],
+             violations: Sequence[Violation],
+             top: int, out_path: Optional[str]) -> None:
+    """Print (and optionally write) the failure attribution report."""
+    if baseline_profile is None or fresh_profile is None:
+        missing = [tag for tag, prof in (("baseline", baseline_profile),
+                                         ("fresh", fresh_profile))
+                   if prof is None]
+        print(f"regress: --explain: no profile block in "
+              f"{' and '.join(missing)} payload(s); cannot attribute",
+              file=sys.stderr)
+        attribution = None
+    else:
+        diff = diff_profiles(baseline_profile, fresh_profile)
+        print("regress: attribution (embedded profile diff):",
+              file=sys.stderr)
+        for line in report_lines(diff, top_n=top):
+            print(f"  {line}", file=sys.stderr)
+        attribution = diff.to_dict()
+    if out_path is not None:
+        try:
+            with open(out_path, "w") as fp:
+                json.dump({"violations": [str(v) for v in violations],
+                           "attribution": attribution},
+                          fp, sort_keys=True, indent=2)
+                fp.write("\n")
+        except OSError as exc:
+            print(f"regress: cannot write --explain-out {out_path}: {exc}",
+                  file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -206,6 +269,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"regress: cannot read fresh payload {args.fresh}: {exc}",
               file=sys.stderr)
         return 2
+    # Profile blocks ride along for --explain but are never part of the
+    # value diff (same contract as the manifest): the gate judges the
+    # measured numbers, the profile explains them.
+    baseline_profile = baseline.pop(PROFILE_KEY, None)
+    fresh_profile = fresh.pop(PROFILE_KEY, None)
     # Manifest gate first: numbers from different experiments are not
     # comparable, no matter how tolerant the rules.
     baseline_manifest = baseline.pop(MANIFEST_KEY, None)
@@ -226,6 +294,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{args.baseline}:", file=sys.stderr)
             for violation in violations:
                 print(f"  {violation}", file=sys.stderr)
+        if args.explain or args.explain_out is not None:
+            _explain(_parse_profile(args.baseline, baseline_profile),
+                     _parse_profile(args.fresh, fresh_profile),
+                     violations, args.explain_top, args.explain_out)
         return 1
     print(f"regress: {args.fresh} matches {args.baseline} within tolerance")
     return 0

@@ -15,6 +15,9 @@ Commands:
 - ``dash``      — live ops dashboard (HTTP/SSE) over a run directory
 - ``bench``     — run a benchmark suite (``kernels``: forward-pass modes)
 - ``regress``   — gate fresh benchmark output against a baseline
+  (``--explain`` prints the profile attribution on failure)
+- ``profile``   — fold span dumps into a deterministic flame profile,
+  or diff two profiles into a ranked attribution report
 - ``lint``      — darpalint static analysis (determinism rules DL001-6)
 - ``survey``    — user-study findings (Section III-B)
 
@@ -484,7 +487,18 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         argv += ["--rule", rule]
     if args.ignore_manifest:
         argv.append("--ignore-manifest")
+    if args.explain:
+        argv.append("--explain")
+    if args.explain_out is not None:
+        argv += ["--explain-out", args.explain_out]
     return regress_main(argv)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiling.cli import run_profile
+
+    return run_profile(source=args.source, diff=args.diff, fold=args.fold,
+                       top=args.top, json_out=args.json)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -657,6 +671,29 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="PATTERN=rel:F|abs:F")
     p_regress.add_argument("--ignore-manifest", action="store_true",
                            help="diff values even on provenance mismatch")
+    p_regress.add_argument("--explain", action="store_true",
+                           help="on failure, print the ranked per-frame "
+                                "attribution from the embedded profiles")
+    p_regress.add_argument("--explain-out", default=None, metavar="FILE",
+                           help="write the failure attribution as JSON "
+                                "(implies --explain)")
+
+    p_profile = sub.add_parser(
+        "profile", help="fold span dumps into a flame profile, or diff two")
+    p_profile.add_argument("source", nargs="?", default=None,
+                           help="run directory, profile.json, BENCH_*.json "
+                                "with a profile block, or span JSONL")
+    p_profile.add_argument("--diff", nargs=2, default=None,
+                           metavar=("BASE", "FRESH"),
+                           help="diff two profile sources; exits 1 when "
+                                "they differ")
+    p_profile.add_argument("--fold", action="store_true",
+                           help="emit folded stacks (flamegraph input) on "
+                                "stdout instead of the summary")
+    p_profile.add_argument("--top", type=int, default=15,
+                           help="frames to show (default: 15)")
+    p_profile.add_argument("--json", default=None, metavar="FILE",
+                           help="also write the canonical profile.json")
 
     p_lint = sub.add_parser(
         "lint", help="darpalint: determinism & sim-correctness rules")
@@ -690,6 +727,7 @@ _COMMANDS = {
     "dash": _cmd_dash,
     "bench": _cmd_bench,
     "regress": _cmd_regress,
+    "profile": _cmd_profile,
     "lint": _cmd_lint,
     "survey": _cmd_survey,
 }

@@ -617,7 +617,8 @@ class DarpaDaemon:
         assert self.out_dir is not None
         os.makedirs(self.out_dir, exist_ok=True)
         stale = ("journal.jsonl", "daemon.json", "drain.json", "trace.jsonl",
-                 "metrics.jsonl", "telemetry.json", "telemetry.prom")
+                 "metrics.jsonl", "telemetry.json", "telemetry.prom",
+                 "profile.json")
         for name in os.listdir(self.out_dir):
             if name in stale or name.startswith("shard-"):
                 os.remove(os.path.join(self.out_dir, name))

@@ -37,6 +37,7 @@ charges either way.
 from __future__ import annotations
 
 import json
+import math
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -75,6 +76,11 @@ STAGE_BUCKETS_MS: Tuple[float, ...] = (
 #: span.  Silent drops would corrupt span-derived totals, so the drop
 #: count itself must be observable (and is surfaced by ``repro trace``).
 DROPPED_SPANS_COUNTER = "darpa.trace.dropped_spans"
+
+#: Step label :meth:`PlanProfiler.attribute` folds zero-MAC steps (and
+#: the floating-point residual of the weighted shares) into, so the
+#: per-step costs sum to the attributed total exactly.
+OVERHEAD_STEP = "overhead"
 
 
 def op_cpu_ms(profile: DeviceProfile) -> Dict[str, float]:
@@ -565,13 +571,30 @@ class PlanProfiler:
         return sum(m for _, m in self.steps)
 
     def attribute(self, total_cpu_ms: float) -> List[Dict[str, object]]:
-        """MAC-weighted shares of ``total_cpu_ms`` per executed step."""
+        """MAC-weighted shares of ``total_cpu_ms`` per executed step.
+
+        Steps with zero MACs (reshape/concat/copy plumbing) carry no
+        weight of their own; they fold into one trailing ``overhead``
+        entry that also absorbs the floating-point residual of the
+        weighted shares — so the returned costs sum to ``total_cpu_ms``
+        **exactly** (``math.fsum`` of the shares plus the residual is
+        the total by construction), and no executed step silently
+        vanishes from the attribution.
+        """
         total = self.total_macs
         out: List[Dict[str, object]] = []
+        zero_mac_steps = 0
         for label, macs in self.steps:
-            share = (macs / total) if total else 0.0
+            if macs == 0:
+                zero_mac_steps += 1
+                continue
             out.append({"step": label, "macs": macs,
-                        "cpu_ms": total_cpu_ms * share})
+                        "cpu_ms": total_cpu_ms * (macs / total)})
+        residual = total_cpu_ms - math.fsum(
+            float(entry["cpu_ms"]) for entry in out)  # type: ignore[arg-type]
+        if zero_mac_steps or residual != 0.0:
+            out.append({"step": OVERHEAD_STEP, "macs": 0,
+                        "cpu_ms": residual})
         return out
 
 
@@ -591,7 +614,14 @@ def ops_from_spans(spans: Iterable[Dict[str, object]]) -> Dict[str, int]:
 
 def stage_cpu_ms(spans: Iterable[Dict[str, object]],
                  profile: Optional[DeviceProfile] = None) -> Dict[str, float]:
-    """Per-stage attributed cost-model CPU, keyed by span name."""
+    """Per-stage attributed cost-model CPU, keyed by span name.
+
+    On a **truncated** dump (ring-buffer evictions mid-session) this is
+    a partial total: evicted spans take their attributed ops with them,
+    so each stage's CPU covers only the surviving spans — it never
+    over-counts, and the tracer's ``dropped`` counter says how many
+    spans are missing.  ``tests/core`` pins this behavior.
+    """
     profile = profile or DeviceProfile()
     costs = op_cpu_ms(profile)
     out: Dict[str, float] = {}
@@ -625,6 +655,16 @@ def report_from_spans(
     spans, no orphan charges) the result is bit-identical to the report
     the device produced during the run.  ``duration_ms`` defaults to
     the session root span's duration.
+
+    On a **truncated** dump the rebuild is a defined partial report,
+    not an error: evicted spans' ops are simply absent, so every cost
+    figure is ``<=`` the device meter's (never above).  The session
+    root span always survives a mid-session truncation — it closes
+    last, and the ring evicts oldest-first — so the duration (and the
+    baseline share of the report) stays exact; only op-derived overhead
+    undercounts.  A dump truncated so hard the root itself was evicted
+    raises ``ValueError`` from :func:`session_root`.  ``tests/core``
+    pins this contract.
     """
     root = session_root(spans)
     if duration_ms is None:

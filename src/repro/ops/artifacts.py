@@ -12,7 +12,13 @@ A fleet run leaves a directory of deterministic artifacts behind:
   records and drain manifest (absent for plain fleet runs);
 - ``slo.json`` — an optional pre-computed SLO report (``repro slo
   --json``); when absent the report is derived here from the per-session
-  telemetry series with the stock objectives.
+  telemetry series with the stock objectives;
+- ``profile.json`` / ``shard-*.profile.json`` — the merged stack
+  profile or its shard parts (folded here; the merge algebra is
+  order-free).  When neither is present the profile is folded from the
+  loaded spans on the spot, so bare trace dumps still get a flame view;
+- ``baseline.profile.json`` — an optional reference profile the
+  ``/api/flame/diff`` route attributes the run against.
 
 :func:`load_run` folds all of that into one frozen :class:`RunModel`.
 Every fold is order-canonical — part files are sorted by name before
@@ -40,6 +46,7 @@ from repro.core.telemetry import (
     default_slos,
     sketches_from_spans,
 )
+from repro.profiling import Profile, dropped_from_metrics, profile_from_spans
 
 #: Schema version stamped on every route payload.
 OPS_VERSION = 1
@@ -98,6 +105,8 @@ class RunModel:
     slo: Mapping[str, object]
     daemon: Optional[Mapping[str, object]]
     drain: Optional[Mapping[str, object]]
+    profile: Profile
+    baseline_profile: Optional[Profile]
 
     def span_ids(self, session: int) -> frozenset:
         trace = self.traces.get(session)
@@ -113,7 +122,8 @@ class RunModel:
 def _classify(names: Sequence[str]) -> Dict[str, List[str]]:
     """Sort artifact file names into kinds (order-canonical)."""
     plan: Dict[str, List[str]] = {
-        "telemetry": [], "trace": [], "metrics": [], "single": []}
+        "telemetry": [], "trace": [], "metrics": [], "profile": [],
+        "single": []}
     for name in sorted(names):
         if name == "telemetry.json" or (name.startswith("shard-")
                                         and name.endswith(".telemetry.json")):
@@ -124,7 +134,11 @@ def _classify(names: Sequence[str]) -> Dict[str, List[str]]:
         elif name == "metrics.jsonl" or (name.startswith("shard-")
                                          and name.endswith(".metrics.jsonl")):
             plan["metrics"].append(name)
-        elif name in ("daemon.json", "drain.json", "slo.json"):
+        elif name == "profile.json" or (name.startswith("shard-")
+                                        and name.endswith(".profile.json")):
+            plan["profile"].append(name)
+        elif name in ("daemon.json", "drain.json", "slo.json",
+                      "baseline.profile.json"):
             plan["single"].append(name)
     return plan
 
@@ -268,6 +282,37 @@ def load_run(
             except json.JSONDecodeError as exc:
                 raise RunDirectoryError(f"{name}: malformed JSON ({exc})")
 
+    # Stack profile: merged file and/or shard parts, folded order-free
+    # (the profile algebra is all-integer, like the sketches).  A
+    # directory with no profile artifacts derives one from its spans so
+    # bare trace dumps still serve /api/flame.
+    run_profile = Profile()
+    for name in plan["profile"]:
+        with open(os.path.join(run_dir, name)) as fp:
+            try:
+                payload = json.load(fp)
+            except json.JSONDecodeError as exc:
+                raise RunDirectoryError(f"{name}: malformed JSON ({exc})")
+        try:
+            run_profile.merge(Profile.from_dict(payload))
+        except (ValueError, TypeError) as exc:
+            raise RunDirectoryError(f"{name}: malformed profile ({exc})")
+    if not plan["profile"]:
+        for session in sessions:
+            metrics = metrics_by_session.get(session, {})
+            run_profile.merge(profile_from_spans(
+                spans_by_session[session], profile=profile,
+                dropped_spans=dropped_from_metrics(metrics)))
+
+    baseline_profile: Optional[Profile] = None
+    baseline_payload = singles.get("baseline.profile.json")
+    if baseline_payload is not None:
+        try:
+            baseline_profile = Profile.from_dict(baseline_payload)
+        except (ValueError, TypeError) as exc:
+            raise RunDirectoryError(
+                f"baseline.profile.json: malformed profile ({exc})")
+
     slo = singles.get("slo.json")
     if slo is None:
         series = [
@@ -306,6 +351,8 @@ def load_run(
         slo=slo,
         daemon=singles.get("daemon.json"),
         drain=singles.get("drain.json"),
+        profile=run_profile,
+        baseline_profile=baseline_profile,
     )
 
 

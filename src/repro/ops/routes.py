@@ -15,6 +15,8 @@ Endpoints:
 - ``/api/traces/{session}``    — span waterfall for one session
 - ``/api/quantiles/{metric}``  — sketch buckets with exemplar links
 - ``/api/daemon``              — lane occupancy / shed / rejection records
+- ``/api/flame``               — stack profile as a nested icicle tree
+- ``/api/flame/diff``          — ranked attribution vs the baseline profile
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.core.telemetry import (
     SCREENSHOT_SKETCH,
 )
 from repro.ops.artifacts import OPS_VERSION, RunModel
+from repro.profiling import diff_profiles, split_key
 
 #: Short metric names of the quantile drill-down routes.
 METRIC_SKETCHES: Mapping[str, str] = {
@@ -36,6 +39,16 @@ METRIC_SKETCHES: Mapping[str, str] = {
     "debounce": DEBOUNCE_SKETCH,
     "screenshot": SCREENSHOT_SKETCH,
     "inference": INFERENCE_SKETCH,
+}
+
+#: Frame name -> quantile-route metric, for the exemplar links the
+#: flame diff attaches to its ranked frames (``analyze`` subtree CPU is
+#: what the reaction sketch measures).
+FRAME_METRICS: Mapping[str, str] = {
+    "analyze": "reaction",
+    "debounce": "debounce",
+    "screenshot": "screenshot",
+    "inference": "inference",
 }
 
 
@@ -116,6 +129,13 @@ def overview(model: RunModel) -> Dict[str, object]:
         "slo": {
             "all_met": bool(model.slo.get("all_met", True)),
             "alerts": len(model.slo.get("alerts", ())),  # type: ignore[arg-type]
+        },
+        # Profile completeness: non-zero drops mean every span-derived
+        # figure (profiles, stage CPU) undercounts — surfaced here so
+        # no panel has to trust a silently truncated trace.
+        "trace": {
+            "dropped_spans": model.profile.dropped_spans,
+            "orphan_spans": model.profile.orphan_spans,
         },
         "daemon_available": model.daemon is not None,
     }
@@ -271,6 +291,101 @@ def daemon(model: RunModel) -> Dict[str, object]:
     }
 
 
+def _flame_node(name: str) -> Dict[str, object]:
+    return {"name": name, "self_us": 0, "count": 0, "macs": 0,
+            "children": {}}
+
+
+def _finalize_flame(node: Dict[str, object], total_macs: int) -> int:
+    """Children dict -> name-sorted list; returns the subtree total."""
+    children = [
+        _child for _, _child in sorted(node["children"].items())  # type: ignore[union-attr]
+    ]
+    total = int(node["self_us"])  # type: ignore[arg-type]
+    for child in children:
+        total += _finalize_flame(child, total_macs)
+    node["children"] = children
+    node["total_us"] = total
+    node["mac_share"] = (int(node["macs"]) / total_macs  # type: ignore[arg-type]
+                         if total_macs else 0.0)
+    return total
+
+
+def flame(model: RunModel) -> Dict[str, object]:
+    """The run's stack profile as a nested icicle tree.
+
+    Frames are keyed by span stack path (PlanProfiler steps one level
+    below the inference span); every node carries its own attributed
+    CPU (``self_us``), the subtree total (``total_us``), call count and
+    MAC share, with children in name order — a pure, canonical
+    re-projection of ``profile.json``.
+    """
+    prof = model.profile
+    root = _flame_node("all")
+    for stack in sorted(prof.frames):
+        node = root
+        for segment in stack:
+            node = node["children"].setdefault(  # type: ignore[union-attr]
+                segment, _flame_node(segment))
+        stats = prof.frames[stack]
+        node["self_us"] = int(node["self_us"]) + stats.cpu_us  # type: ignore[arg-type]
+        node["count"] = int(node["count"]) + stats.count  # type: ignore[arg-type]
+        node["macs"] = int(node["macs"]) + stats.macs  # type: ignore[arg-type]
+    total_macs = prof.total_macs
+    _finalize_flame(root, total_macs)
+    return {
+        "version": OPS_VERSION,
+        "available": bool(prof.frames),
+        "sessions": prof.sessions,
+        "dropped_spans": prof.dropped_spans,
+        "orphan_spans": prof.orphan_spans,
+        "total_cpu_us": prof.total_cpu_us,
+        "total_macs": total_macs,
+        "root": root,
+    }
+
+
+def _frame_href(stack: str) -> Optional[str]:
+    """Quantile drill-down link for a diff frame (leafmost match wins)."""
+    for segment in reversed(split_key(stack)):
+        metric = FRAME_METRICS.get(segment)
+        if metric is not None:
+            return f"/api/quantiles/{metric}"
+    return None
+
+
+def flame_diff(model: RunModel) -> Dict[str, object]:
+    """Ranked per-frame attribution of the run vs its baseline profile.
+
+    Needs a ``baseline.profile.json`` in the run directory; without one
+    the route reports ``available: false`` (like ``/api/daemon``).
+    Each differing frame links to the matching quantile drill-down so
+    the UI can jump from "inference grew" to its bucket exemplars.
+    """
+    baseline = model.baseline_profile
+    if baseline is None:
+        return {"version": OPS_VERSION, "available": False}
+    diff = diff_profiles(baseline, model.profile)
+    frames: List[Dict[str, object]] = []
+    for delta in diff.frames:
+        entry = delta.to_dict()
+        entry["href"] = _frame_href(delta.stack)
+        frames.append(entry)
+    return {
+        "version": OPS_VERSION,
+        "available": True,
+        "empty": diff.empty,
+        "base_total_cpu_us": diff.base_total_cpu_us,
+        "fresh_total_cpu_us": diff.fresh_total_cpu_us,
+        "delta_cpu_us": diff.delta_cpu_us,
+        "base_sessions": diff.base_sessions,
+        "fresh_sessions": diff.fresh_sessions,
+        "base_dropped_spans": diff.base_dropped_spans,
+        "fresh_dropped_spans": diff.fresh_dropped_spans,
+        "frames": frames,
+    }
+
+
 def routes_index(model: RunModel) -> Dict[str, object]:
     """Every concrete route this run directory can answer."""
     return {
@@ -285,7 +400,8 @@ def routes_index(model: RunModel) -> Dict[str, object]:
 
 def route_paths(model: RunModel) -> List[str]:
     """All concrete ``/api`` paths, in deterministic order."""
-    paths = ["/api/routes", "/api/overview", "/api/slo", "/api/daemon"]
+    paths = ["/api/routes", "/api/overview", "/api/slo", "/api/daemon",
+             "/api/flame", "/api/flame/diff"]
     paths += [f"/api/quantiles/{metric}"
               for metric in sorted(METRIC_SKETCHES)]
     paths += [f"/api/traces/{session}" for session in model.sessions]
@@ -307,6 +423,10 @@ def resolve(model: RunModel, path: str) -> Dict[str, object]:
         return slo(model)
     if path == "/api/daemon":
         return daemon(model)
+    if path == "/api/flame":
+        return flame(model)
+    if path == "/api/flame/diff":
+        return flame_diff(model)
     parts = path.split("/")
     if len(parts) == 4 and parts[1] == "api" and parts[2] == "quantiles":
         return quantiles(model, parts[3])
@@ -337,6 +457,7 @@ def dump_routes(model: RunModel) -> Dict[str, bytes]:
 
 __all__ = [
     "METRIC_SKETCHES",
+    "FRAME_METRICS",
     "RouteError",
     "canonical_bytes",
     "overview",
@@ -344,6 +465,8 @@ __all__ = [
     "traces",
     "quantiles",
     "daemon",
+    "flame",
+    "flame_diff",
     "routes_index",
     "route_paths",
     "resolve",

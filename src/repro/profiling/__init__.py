@@ -1,0 +1,56 @@
+"""Deterministic profiling: folded flame profiles + differential runs.
+
+See DESIGN.md §5j.  The subsystem folds exported span dumps (and the
+PlanProfiler's per-step MAC attribution) into canonical stack-keyed
+:class:`Profile`\\ s whose merge is exactly associative — shard parts
+fold to byte-identical ``profile.json`` for any worker count — and
+diffs two profiles into a ranked attribution report (``repro profile
+--diff``, ``repro regress --explain``, ``/api/flame/diff``).
+"""
+
+from repro.profiling.cli import run_profile
+from repro.profiling.diff import (
+    FrameDelta,
+    ProfileDiff,
+    diff_profiles,
+    report_lines,
+)
+from repro.profiling.fold import (
+    PLAN_OPS_ATTR,
+    dropped_from_metrics,
+    profile_from_result,
+    profile_from_results,
+    profile_from_spans,
+)
+from repro.profiling.io import ProfileSourceError, load_profile
+from repro.profiling.profile import (
+    PROFILE_KEY,
+    PROFILE_VERSION,
+    STACK_SEP,
+    FrameStats,
+    Profile,
+    split_key,
+    stack_key,
+)
+
+__all__ = [
+    "PROFILE_KEY",
+    "PROFILE_VERSION",
+    "STACK_SEP",
+    "PLAN_OPS_ATTR",
+    "FrameStats",
+    "Profile",
+    "FrameDelta",
+    "ProfileDiff",
+    "ProfileSourceError",
+    "diff_profiles",
+    "report_lines",
+    "dropped_from_metrics",
+    "load_profile",
+    "profile_from_result",
+    "profile_from_results",
+    "profile_from_spans",
+    "run_profile",
+    "split_key",
+    "stack_key",
+]

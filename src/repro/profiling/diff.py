@@ -1,0 +1,170 @@
+"""Differential profiles: rank where the milliseconds went.
+
+:func:`diff_profiles` compares two :class:`Profile`\\ s frame by frame
+and keeps only frames whose state actually differs — so
+``diff(A, A)`` is empty by construction, which the property tests pin.
+Each surviving frame becomes a :class:`FrameDelta` with absolute and
+relative CPU deltas plus its new/vanished/changed status, and the
+report ranks them by absolute delta (ties by stack), so the top entry
+*is* the attribution: "this run is slower because this path grew".
+
+The same engine serves three surfaces: ``repro profile --diff A B``,
+``repro regress --explain`` (run vs the profile embedded in the BENCH
+baseline), and the ``/api/flame/diff`` dashboard route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiling.profile import Profile, split_key, stack_key
+
+
+@dataclass(frozen=True)
+class FrameDelta:
+    """One frame's contribution to the difference between two runs."""
+
+    stack: str
+    status: str  # "new" | "vanished" | "changed"
+    base_cpu_us: int
+    fresh_cpu_us: int
+    delta_cpu_us: int
+    base_count: int
+    fresh_count: int
+    base_macs: int
+    fresh_macs: int
+
+    @property
+    def rel(self) -> Optional[float]:
+        """Relative CPU delta vs the baseline (None for new frames)."""
+        if self.base_cpu_us == 0:
+            return None
+        return self.delta_cpu_us / self.base_cpu_us
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stack": self.stack,
+            "status": self.status,
+            "base_cpu_us": self.base_cpu_us,
+            "fresh_cpu_us": self.fresh_cpu_us,
+            "delta_cpu_us": self.delta_cpu_us,
+            "rel": self.rel,
+            "base_count": self.base_count,
+            "fresh_count": self.fresh_count,
+            "base_macs": self.base_macs,
+            "fresh_macs": self.fresh_macs,
+        }
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """All differing frames, ranked most-regressed first."""
+
+    frames: Tuple[FrameDelta, ...]
+    base_total_cpu_us: int
+    fresh_total_cpu_us: int
+    base_sessions: int
+    fresh_sessions: int
+    base_dropped_spans: int
+    fresh_dropped_spans: int
+
+    @property
+    def empty(self) -> bool:
+        return not self.frames
+
+    @property
+    def delta_cpu_us(self) -> int:
+        return self.fresh_total_cpu_us - self.base_total_cpu_us
+
+    def top(self, n: int) -> Tuple[FrameDelta, ...]:
+        return self.frames[:n]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "base_total_cpu_us": self.base_total_cpu_us,
+            "fresh_total_cpu_us": self.fresh_total_cpu_us,
+            "delta_cpu_us": self.delta_cpu_us,
+            "base_sessions": self.base_sessions,
+            "fresh_sessions": self.fresh_sessions,
+            "base_dropped_spans": self.base_dropped_spans,
+            "fresh_dropped_spans": self.fresh_dropped_spans,
+            "frames": [frame.to_dict() for frame in self.frames],
+        }
+
+
+def diff_profiles(base: Profile, fresh: Profile) -> ProfileDiff:
+    """Frame-by-frame diff; identical profiles produce zero frames."""
+    deltas: List[FrameDelta] = []
+    stacks = sorted(set(base.frames) | set(fresh.frames))
+    for stack in stacks:
+        b = base.frames.get(stack)
+        f = fresh.frames.get(stack)
+        if b is not None and f is not None and \
+                (b.count, b.cpu_us, b.macs) == (f.count, f.cpu_us, f.macs):
+            continue
+        if b is None:
+            status = "new"
+        elif f is None:
+            status = "vanished"
+        else:
+            status = "changed"
+        deltas.append(FrameDelta(
+            stack=stack_key(stack),
+            status=status,
+            base_cpu_us=0 if b is None else b.cpu_us,
+            fresh_cpu_us=0 if f is None else f.cpu_us,
+            delta_cpu_us=(0 if f is None else f.cpu_us)
+                         - (0 if b is None else b.cpu_us),
+            base_count=0 if b is None else b.count,
+            fresh_count=0 if f is None else f.count,
+            base_macs=0 if b is None else b.macs,
+            fresh_macs=0 if f is None else f.macs,
+        ))
+    deltas.sort(key=lambda d: (-abs(d.delta_cpu_us), split_key(d.stack)))
+    return ProfileDiff(
+        frames=tuple(deltas),
+        base_total_cpu_us=base.total_cpu_us,
+        fresh_total_cpu_us=fresh.total_cpu_us,
+        base_sessions=base.sessions,
+        fresh_sessions=fresh.sessions,
+        base_dropped_spans=base.dropped_spans,
+        fresh_dropped_spans=fresh.dropped_spans,
+    )
+
+
+def _fmt_rel(rel: Optional[float]) -> str:
+    return "   n/a" if rel is None else f"{rel:+6.1%}"
+
+
+def report_lines(diff: ProfileDiff, top_n: int = 15) -> List[str]:
+    """The human attribution report (one line per ranked frame)."""
+    lines = [
+        f"profile delta: {diff.delta_cpu_us / 1000.0:+.3f} ms total "
+        f"({diff.base_total_cpu_us / 1000.0:.3f} -> "
+        f"{diff.fresh_total_cpu_us / 1000.0:.3f} ms, "
+        f"{diff.base_sessions} -> {diff.fresh_sessions} session(s))",
+    ]
+    if diff.base_dropped_spans or diff.fresh_dropped_spans:
+        lines.append(
+            f"warning: dropped spans (base={diff.base_dropped_spans}, "
+            f"fresh={diff.fresh_dropped_spans}) — totals undercount")
+    if diff.empty:
+        lines.append("no differing frames")
+        return lines
+    shown = diff.top(top_n)
+    lines.append(f"top {len(shown)} of {len(diff.frames)} differing "
+                 "frame(s) by |delta|:")
+    for delta in shown:
+        lines.append(
+            f"  {delta.delta_cpu_us / 1000.0:+10.3f} ms  "
+            f"{_fmt_rel(delta.rel)}  {delta.status:8s}  {delta.stack}")
+    return lines
+
+
+__all__ = [
+    "FrameDelta",
+    "ProfileDiff",
+    "diff_profiles",
+    "report_lines",
+]

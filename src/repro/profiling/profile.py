@@ -1,0 +1,208 @@
+"""Canonical stack-keyed CPU profiles with an exact merge algebra.
+
+A :class:`Profile` aggregates span-attributed cost-model CPU by *stack
+path* — the chain of span names from the session root down to the
+charged span, e.g. ``session;event;analyze;inference`` — plus the
+PlanProfiler's per-step MAC attribution one level below the inference
+span (``...;inference;conv3/gemm``).  Frame state is integral on
+purpose: CPU is kept in integer **microseconds** and counts/MACs are
+ints, so :meth:`Profile.merge` is exactly associative and commutative
+(the same trick :class:`repro.core.telemetry.QuantileSketch` uses) and
+the serialized profile is byte-identical for any shard order, merge
+tree, or worker count.
+
+Serialization is a versioned JSON document (``profile.json``) plus a
+folded-stacks text rendering (``stack;path value`` lines, sorted) that
+standard flamegraph tooling consumes directly.
+
+Completeness is part of the profile, not a side channel: a profile
+carries the number of sessions folded into it, the tracer's dropped
+span count (ring-buffer evictions — see
+:data:`repro.core.observability.DROPPED_SPANS_COUNTER`) and the number
+of orphan spans (spans whose parent was evicted before export).  A
+profile with drops is still mergeable and diffable, but consumers can
+see that its totals undercount.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+#: Schema version stamped on every serialized profile.
+PROFILE_VERSION = 1
+
+#: Separator between stack segments in serialized frame keys and folded
+#: lines.  Span names and plan-step labels must not contain it.
+STACK_SEP = ";"
+
+#: Key under which benchmark payloads (``BENCH_*.json``) embed their
+#: baseline profile.  ``repro regress`` pops it before the value diff
+#: (like the provenance manifest) and feeds it to ``--explain``.
+PROFILE_KEY = "profile"
+
+
+@dataclass
+class FrameStats:
+    """Aggregated state of one stack frame (all-integer on purpose)."""
+
+    count: int = 0
+    cpu_us: int = 0
+    macs: int = 0
+
+    def add(self, other: "FrameStats") -> None:
+        self.count += other.count
+        self.cpu_us += other.cpu_us
+        self.macs += other.macs
+
+
+def stack_key(stack: Sequence[str]) -> str:
+    """Serialize a stack tuple to its canonical ``a;b;c`` key."""
+    return STACK_SEP.join(stack)
+
+
+def split_key(key: str) -> Tuple[str, ...]:
+    return tuple(key.split(STACK_SEP))
+
+
+class Profile:
+    """A mergeable, serializable stack-keyed CPU profile."""
+
+    def __init__(self) -> None:
+        self.frames: Dict[Tuple[str, ...], FrameStats] = {}
+        self.sessions = 0
+        self.dropped_spans = 0
+        self.orphan_spans = 0
+
+    # -- building --------------------------------------------------------
+
+    def observe(self, stack: Sequence[str], cpu_us: int = 0,
+                count: int = 1, macs: int = 0) -> None:
+        """Fold one charge into the frame at ``stack``.
+
+        ``cpu_us`` is integer microseconds — callers round exactly once
+        at observation time, so merge order can never re-round.
+        """
+        if not stack:
+            raise ValueError("a frame needs at least one stack segment")
+        for segment in stack:
+            if not segment or STACK_SEP in segment:
+                raise ValueError(
+                    f"bad stack segment {segment!r} (empty or contains "
+                    f"{STACK_SEP!r})")
+        frame = self.frames.get(tuple(stack))
+        if frame is None:
+            frame = self.frames[tuple(stack)] = FrameStats()
+        frame.count += int(count)
+        frame.cpu_us += int(cpu_us)
+        frame.macs += int(macs)
+
+    def merge(self, other: "Profile") -> "Profile":
+        """Fold ``other`` in; exactly associative and commutative.
+
+        All state is integral, so any merge tree over the same parts
+        produces bit-identical state — the property tests assert it.
+        """
+        for stack in sorted(other.frames):
+            frame = self.frames.get(stack)
+            if frame is None:
+                frame = self.frames[stack] = FrameStats()
+            frame.add(other.frames[stack])
+        self.sessions += other.sessions
+        self.dropped_spans += other.dropped_spans
+        self.orphan_spans += other.orphan_spans
+        return self
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def total_cpu_us(self) -> int:
+        return sum(stats.cpu_us for _, stats in sorted(self.frames.items()))
+
+    @property
+    def total_macs(self) -> int:
+        return sum(stats.macs for _, stats in sorted(self.frames.items()))
+
+    def top(self, n: int) -> List[Tuple[str, FrameStats]]:
+        """The ``n`` hottest frames by attributed CPU (ties by stack)."""
+        ranked = sorted(self.frames.items(),
+                        key=lambda item: (-item[1].cpu_us, item[0]))
+        return [(stack_key(stack), stats) for stack, stats in ranked[:n]]
+
+    def mac_share(self, stack: Sequence[str]) -> float:
+        total = self.total_macs
+        if total == 0:
+            return 0.0
+        frame = self.frames.get(tuple(stack))
+        return 0.0 if frame is None else frame.macs / total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dump; frame keys are the canonical ``a;b;c`` form."""
+        frames = {}
+        for stack in sorted(self.frames):
+            stats = self.frames[stack]
+            frames[stack_key(stack)] = {
+                "count": stats.count,
+                "cpu_us": stats.cpu_us,
+                "macs": stats.macs,
+            }
+        return {
+            "version": PROFILE_VERSION,
+            "sessions": self.sessions,
+            "dropped_spans": self.dropped_spans,
+            "orphan_spans": self.orphan_spans,
+            "frames": frames,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Profile":
+        version = payload.get("version")
+        if version != PROFILE_VERSION:
+            raise ValueError(
+                f"unsupported profile version {version!r} "
+                f"(expected {PROFILE_VERSION})")
+        frames = payload.get("frames")
+        if not isinstance(frames, Mapping):
+            raise ValueError("profile payload has no 'frames' mapping")
+        out = cls()
+        out.sessions = int(payload.get("sessions", 0))  # type: ignore[arg-type]
+        out.dropped_spans = int(payload.get("dropped_spans", 0))  # type: ignore[arg-type]
+        out.orphan_spans = int(payload.get("orphan_spans", 0))  # type: ignore[arg-type]
+        for key in sorted(frames):
+            stats = frames[key]
+            out.observe(split_key(str(key)),
+                        cpu_us=int(stats.get("cpu_us", 0)),
+                        count=int(stats.get("count", 0)),
+                        macs=int(stats.get("macs", 0)))
+        return out
+
+    def to_json(self) -> str:
+        """The canonical ``profile.json`` text (sorted, indented, LF)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def folded_lines(self) -> Iterator[str]:
+        """Sorted ``stack;path cpu_us`` lines — flamegraph.pl input."""
+        for stack in sorted(self.frames):
+            yield f"{stack_key(stack)} {self.frames[stack].cpu_us}"
+
+    def folded_text(self) -> str:
+        return "".join(line + "\n" for line in self.folded_lines())
+
+
+__all__ = [
+    "PROFILE_VERSION",
+    "PROFILE_KEY",
+    "STACK_SEP",
+    "FrameStats",
+    "Profile",
+    "stack_key",
+    "split_key",
+]

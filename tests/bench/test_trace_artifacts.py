@@ -1,11 +1,12 @@
 """Shard-merge determinism for the fleet runner's trace artifacts.
 
 The contract: with ``trace_dir`` set, the parallel runner writes one
-``shard-<first-index>.{trace,metrics}.jsonl`` (+ ``.telemetry.json``)
-part per shard and merges them into ``trace.jsonl`` + ``metrics.jsonl``
-ordered by global session index, plus the fleet-level ``telemetry.json``
-/ ``telemetry.prom`` — and the merged bytes are identical for ANY
-worker or shard count, including the inline single-worker path.
+``shard-<first-index>.{trace,metrics}.jsonl`` (+ ``.telemetry.json``
++ ``.profile.json``) part per shard and merges them into
+``trace.jsonl`` + ``metrics.jsonl`` ordered by global session index,
+plus the fleet-level ``telemetry.json`` / ``telemetry.prom`` /
+``profile.json`` — and the merged bytes are identical for ANY worker
+or shard count, including the inline single-worker path.
 """
 
 import json
@@ -17,7 +18,7 @@ from repro.bench import build_runtime_fleet, run_darpa_over_fleet_parallel
 from repro.core.telemetry import FleetTelemetry
 
 MERGED_ARTIFACTS = ("trace.jsonl", "metrics.jsonl", "telemetry.json",
-                    "telemetry.prom")
+                    "telemetry.prom", "profile.json")
 
 N_APPS = 8
 

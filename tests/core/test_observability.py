@@ -3,6 +3,7 @@ span-derived reporting, and the DarpaStats compatibility view."""
 
 import io
 import json
+import math
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.android.device import Device, DeviceProfile, PerfMeter, PerfOp
 from repro.core import DarpaConfig, DarpaService, ScreenshotPolicy
 from repro.core.observability import (
     NULL_TRACER,
+    OVERHEAD_STEP,
     Histogram,
     MetricsRegistry,
     PlanProfiler,
@@ -239,11 +241,27 @@ class TestPlanProfiler:
         prof.start_forward(batch=1)
         assert prof.steps == [] and prof.forwards == 2
 
-    def test_zero_macs_attributes_nothing(self):
+    def test_zero_macs_fold_into_overhead(self):
+        # A forward made only of zero-MAC plumbing still accounts for
+        # the whole charge: it all lands in the explicit overhead frame.
         prof = PlanProfiler()
         prof.start_forward(batch=1)
         prof.record_step("a", 0)
-        assert prof.attribute(100.0) == [{"step": "a", "macs": 0, "cpu_ms": 0.0}]
+        assert prof.attribute(100.0) == [
+            {"step": OVERHEAD_STEP, "macs": 0, "cpu_ms": 100.0}]
+
+    def test_mixed_zero_mac_steps_sum_exactly(self):
+        prof = PlanProfiler()
+        prof.start_forward(batch=1)
+        prof.record_step("conv0", 300)
+        prof.record_step("reshape", 0)
+        prof.record_step("conv1", 100)
+        shares = prof.attribute(100.0)
+        assert [s["step"] for s in shares] == ["conv0", "conv1",
+                                               OVERHEAD_STEP]
+        assert math.fsum(s["cpu_ms"] for s in shares) == 100.0
+        assert shares[0]["cpu_ms"] == pytest.approx(75.0)
+        assert shares[2]["macs"] == 0
 
     def test_plan_reports_macs_per_forward(self):
         import numpy as np
@@ -311,6 +329,82 @@ class TestSpanDerivedReporting:
                     trace_id="t", start_ms=0.0).to_dict()
         with pytest.raises(ValueError):
             report_from_spans([span])
+
+
+# ---------------------------------------------------------------------------
+# Truncated ring-buffer dumps: the partial-report contract
+# ---------------------------------------------------------------------------
+
+def _truncated_meter_run(capacity):
+    """The `_traced_meter_run` workload on a tiny tracer ring buffer."""
+    clock = SimulatedClock()
+    tracer = Tracer(clock, trace_id="t", capacity=capacity)
+    meter = PerfMeter(DeviceProfile())
+    tracer.observe_perf(meter)
+    root = tracer.start_span("session")
+    meter.enable_component("monitoring")
+    meter.enable_component("detection")
+    with tracer.span("analyze"):
+        meter.record(PerfOp.SCREENSHOT)
+        with tracer.span("inference"):
+            meter.record(PerfOp.INFERENCE)
+    meter.record(PerfOp.EVENT_DELIVERED, 7)
+    clock.advance(60_000)
+    tracer.end_span(root, components=sorted(tracer.components))
+    return tracer, meter
+
+
+class TestTruncatedDumps:
+    """Oldest-first eviction mid-session: reports stay defined, partial,
+    and never over-count — the contract the docstrings promise."""
+
+    def test_eviction_is_counted_never_silent(self):
+        tracer, _ = _truncated_meter_run(capacity=2)
+        # 3 spans finished, 2 kept: exactly one drop, and it's counted.
+        assert len(tracer.finished) == 2
+        assert tracer.dropped == 1
+
+    def test_root_survives_mid_session_truncation(self):
+        # The session root closes last, so oldest-first eviction can
+        # never take it while any other span survives: duration (and
+        # the baseline share of a rebuilt report) stays exact.
+        tracer, _ = _truncated_meter_run(capacity=2)
+        spans = tracer.export()
+        assert session_root(spans)["name"] == "session"
+
+    def test_stage_cpu_covers_only_surviving_spans(self):
+        full_tracer, _ = _truncated_meter_run(capacity=64)
+        trunc_tracer, _ = _truncated_meter_run(capacity=2)
+        full = stage_cpu_ms(full_tracer.export())
+        partial = stage_cpu_ms(trunc_tracer.export())
+        # The evicted "inference" span took its attributed CPU with it.
+        assert "inference" not in partial
+        for stage in sorted(partial):
+            assert partial[stage] <= full[stage] + 1e-12
+
+    def test_partial_report_never_exceeds_meter(self):
+        tracer, meter = _truncated_meter_run(capacity=2)
+        partial = report_from_spans(tracer.export())
+        complete = meter.report(60_000.0)
+        # Defined, not an error — and every cost figure undercounts.
+        assert partial.cpu_pct <= complete.cpu_pct
+        assert partial.power_mw <= complete.power_mw
+        # Op totals are exactly the surviving spans' attributions.
+        assert ops_from_spans(tracer.export()) != {
+            k: v for k, v in meter.counts().items() if v}
+
+    def test_rebuilt_equals_meter_when_nothing_dropped(self):
+        tracer, meter = _truncated_meter_run(capacity=64)
+        assert tracer.dropped == 0
+        assert report_from_spans(tracer.export()) == meter.report(60_000.0)
+
+    def test_root_eviction_raises(self):
+        # Truncate so hard even the root is gone: session_root (and so
+        # report_from_spans) refuses rather than fabricating a report.
+        tracer, _ = _truncated_meter_run(capacity=2)
+        spans = [s for s in tracer.export() if s["name"] != "session"]
+        with pytest.raises(ValueError):
+            report_from_spans(spans)
 
 
 # ---------------------------------------------------------------------------

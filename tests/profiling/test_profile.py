@@ -1,0 +1,153 @@
+"""The Profile merge algebra and serialization contracts.
+
+Frame state is all-integer, so merge must be exactly associative and
+commutative — any merge tree over the same parts serializes to the
+same bytes.  These are the unit-level pins; ``tests/proptest.py``
+fuzzes the same invariants over random shardings.
+"""
+
+import pytest
+
+from repro.profiling import (
+    PROFILE_VERSION,
+    Profile,
+    split_key,
+    stack_key,
+)
+
+
+def make(frames):
+    """A Profile from {stack_tuple: (count, cpu_us, macs)}."""
+    out = Profile()
+    out.sessions = 1
+    for stack, (count, cpu_us, macs) in frames.items():
+        out.observe(stack, cpu_us=cpu_us, count=count, macs=macs)
+    return out
+
+
+A_FRAMES = {
+    ("session", "event", "analyze"): (3, 90_000, 0),
+    ("session", "event", "analyze", "inference"): (2, 200_000, 1_000),
+    ("session",): (1, 2_100, 0),
+}
+B_FRAMES = {
+    ("session", "event", "analyze", "inference"): (1, 100_000, 500),
+    ("session", "event", "debounce"): (4, 1_200, 0),
+}
+C_FRAMES = {
+    ("session",): (1, 300, 0),
+}
+
+
+class TestMergeAlgebra:
+    def test_associative_byte_identical(self):
+        left = make(A_FRAMES).merge(make(B_FRAMES)).merge(make(C_FRAMES))
+        right = make(A_FRAMES).merge(make(B_FRAMES).merge(make(C_FRAMES)))
+        assert left.to_json() == right.to_json()
+
+    def test_commutative_byte_identical(self):
+        ab = make(A_FRAMES).merge(make(B_FRAMES))
+        ba = make(B_FRAMES).merge(make(A_FRAMES))
+        assert ab.to_json() == ba.to_json()
+
+    def test_empty_profile_is_identity(self):
+        merged = Profile().merge(make(A_FRAMES))
+        assert merged == make(A_FRAMES)
+        assert make(A_FRAMES).merge(Profile()) == make(A_FRAMES)
+
+    def test_merge_sums_completeness_counters(self):
+        a, b = make(A_FRAMES), make(B_FRAMES)
+        a.dropped_spans, a.orphan_spans = 2, 1
+        b.dropped_spans = 3
+        merged = a.merge(b)
+        assert merged.sessions == 2
+        assert merged.dropped_spans == 5
+        assert merged.orphan_spans == 1
+
+    def test_merge_returns_self(self):
+        a = make(A_FRAMES)
+        assert a.merge(make(B_FRAMES)) is a
+
+
+class TestObserve:
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ValueError):
+            Profile().observe(())
+
+    def test_rejects_separator_in_segment(self):
+        with pytest.raises(ValueError):
+            Profile().observe(("session", "a;b"))
+
+    def test_rejects_empty_segment(self):
+        with pytest.raises(ValueError):
+            Profile().observe(("session", ""))
+
+    def test_accumulates_repeat_observations(self):
+        p = Profile()
+        p.observe(("a",), cpu_us=10, count=1, macs=5)
+        p.observe(("a",), cpu_us=20, count=2, macs=7)
+        stats = p.frames[("a",)]
+        assert (stats.count, stats.cpu_us, stats.macs) == (3, 30, 12)
+
+
+class TestReading:
+    def test_totals(self):
+        p = make(A_FRAMES)
+        assert p.total_cpu_us == 90_000 + 200_000 + 2_100
+        assert p.total_macs == 1_000
+
+    def test_top_ranked_by_cpu_then_stack(self):
+        p = make(A_FRAMES)
+        tops = [stack for stack, _ in p.top(10)]
+        assert tops == [
+            "session;event;analyze;inference",
+            "session;event;analyze",
+            "session",
+        ]
+        assert len(p.top(1)) == 1
+
+    def test_mac_share(self):
+        p = make(A_FRAMES).merge(make(B_FRAMES))
+        stack = ("session", "event", "analyze", "inference")
+        assert p.mac_share(stack) == pytest.approx(1.0)
+        assert p.mac_share(("session",)) == 0.0
+        assert Profile().mac_share(stack) == 0.0
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        p = make(A_FRAMES)
+        p.dropped_spans, p.orphan_spans = 4, 2
+        again = Profile.from_dict(p.to_dict())
+        assert again == p
+        assert again.to_json() == p.to_json()
+
+    def test_version_stamped_and_checked(self):
+        payload = make(A_FRAMES).to_dict()
+        assert payload["version"] == PROFILE_VERSION
+        payload["version"] = PROFILE_VERSION + 1
+        with pytest.raises(ValueError):
+            Profile.from_dict(payload)
+        with pytest.raises(ValueError):
+            Profile.from_dict({"frames": {}})
+
+    def test_from_dict_requires_frames_mapping(self):
+        with pytest.raises(ValueError):
+            Profile.from_dict({"version": PROFILE_VERSION})
+
+    def test_folded_lines_sorted_and_parseable(self):
+        p = make(A_FRAMES).merge(make(B_FRAMES))
+        lines = list(p.folded_lines())
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert p.frames[split_key(stack)].cpu_us == int(value)
+        assert p.folded_text() == "".join(l + "\n" for l in lines)
+
+    def test_json_text_ends_with_newline(self):
+        assert make(A_FRAMES).to_json().endswith("}\n")
+
+
+def test_stack_key_round_trips():
+    stack = ("session", "event", "analyze")
+    assert split_key(stack_key(stack)) == stack

@@ -919,6 +919,71 @@ class TestOpsProperty:
 
 
 # ---------------------------------------------------------------------------
+# Profiling: the stack-profile merge algebra under random shardings.
+# Invariants: any merge tree over per-session profiles serializes to
+# the same bytes; a sharded run's profile.json parts fold to exactly
+# the merged artifact; diff(A, A) is empty for every folded profile.
+# ---------------------------------------------------------------------------
+
+N_PROFILING_CASES = 3
+
+
+class TestProfilingProperty:
+    @pytest.mark.parametrize("index", range(N_PROFILING_CASES))
+    def test_any_merge_tree_gives_identical_bytes(self, index):
+        from repro.profiling import Profile, profile_from_result
+
+        results = _ops_results()
+        rng = np.random.default_rng(SEED_BASE * 9000 + index)
+        parts = [profile_from_result(result).to_dict()
+                 for _, result in results]
+        baseline = None
+        for _ in range(4):
+            # A random binary merge tree: repeatedly fold a random
+            # profile into a random other until one remains.
+            pool = [Profile.from_dict(p) for p in parts]
+            while len(pool) > 1:
+                j = int(rng.integers(1, len(pool)))
+                k = int(rng.integers(0, j))
+                pool[k].merge(pool.pop(j))
+            got = pool[0].to_json()
+            baseline = baseline or got
+            assert got == baseline, "merge tree changed the bytes"
+
+    @pytest.mark.parametrize("index", range(N_PROFILING_CASES))
+    def test_sharded_profile_equals_merged_artifact(self, index, tmp_path):
+        from repro.profiling import load_profile
+
+        _, parts_dir, merged_dir = _ops_case(index, tmp_path)
+        from_parts = load_profile(parts_dir)
+        from_merged = load_profile(merged_dir)
+        assert from_parts.to_json() == from_merged.to_json()
+        assert from_parts.sessions == len(_ops_results())
+
+    @pytest.mark.parametrize("index", range(N_PROFILING_CASES))
+    def test_trace_refold_matches_shipped_profile(self, index, tmp_path):
+        from repro.profiling import load_profile
+        from repro.profiling.io import _fold_span_records, _read_jsonl
+
+        _, _, merged_dir = _ops_case(index, tmp_path)
+        records = _read_jsonl(os.path.join(merged_dir, "trace.jsonl"))
+        refolded = _fold_span_records(records)
+        # Dropped counts ride the metrics lines, not the trace; with no
+        # drops in these runs the refold is bit-equal to the artifact.
+        assert refolded.to_json() == load_profile(merged_dir).to_json()
+
+    @pytest.mark.parametrize("index", range(N_PROFILING_CASES))
+    def test_self_diff_is_empty(self, index, tmp_path):
+        from repro.profiling import diff_profiles, load_profile
+
+        _, parts_dir, merged_dir = _ops_case(index, tmp_path)
+        for source in (parts_dir, merged_dir):
+            profile = load_profile(source)
+            assert profile.frames, "vacuous case — no frames folded"
+            assert diff_profiles(profile, profile).empty
+
+
+# ---------------------------------------------------------------------------
 # Non-vacuousness: the matrix must actually exercise the paths the
 # invariants constrain, whatever seed base is in effect.
 # ---------------------------------------------------------------------------
