@@ -6,8 +6,6 @@ Faster RCNN+ResNet50 0.744/0.698/0.720; Mask RCNN+VGG16
 YOLOv5 0.881/0.838/0.859.  YOLOv5 is also ~2.5x faster per frame.
 """
 
-import time
-
 from repro.bench import (
     evaluate_detector,
     get_corpus_and_splits,
@@ -15,6 +13,7 @@ from repro.bench import (
 )
 from repro.vision import build_detection_dataset
 from repro.vision.rcnn import table5_model_suite
+from repro.wallclock import Stopwatch
 
 PAPER = {
     "Faster RCNN+VGG16": (0.732, 0.710, 0.721),
@@ -31,13 +30,13 @@ RCNN_TRAIN_SIZE = 240
 
 
 def _mean_latency_ms(detector, dataset, n=30):
-    start = time.perf_counter()
+    watch = Stopwatch()
     for i in range(min(n, len(dataset))):
         if hasattr(detector, "last_inference_ms"):
             detector.detect_screen(dataset.screen_images[i])
         else:
             detector.detect_screen(dataset.screen_images[i], refine=True)
-    return (time.perf_counter() - start) * 1000.0 / min(n, len(dataset))
+    return watch.elapsed_ms() / min(n, len(dataset))
 
 
 def test_table5_model_comparison(benchmark, trained_model, test_dataset):

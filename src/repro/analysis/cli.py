@@ -28,7 +28,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="AST-based determinism & sim-correctness linter "
-                    "(rules DL001-DL006).",
+                    "(rules DL001-DL008).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -37,6 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rules", default=None, metavar="DL001,DL003",
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry (id, summary, "
+                             "allowlisted paths from pyproject) and exit")
     parser.add_argument("--config", default=None, metavar="PYPROJECT",
                         help="pyproject.toml to read [tool.darpalint] "
                              "from (default: nearest upward from cwd)")
@@ -46,6 +49,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write the report here instead of stdout")
     return parser
+
+
+def render_rule_list(config: LintConfig) -> str:
+    """One deterministic line per registered rule.
+
+    Shows each rule's id, name and summary, plus — when the loaded
+    ``[tool.darpalint.allow]`` table allowlists paths for it — the
+    globs the rule is intentionally off for, so config debugging
+    doesn't require reading ``rules.py``.
+    """
+    lines = []
+    for rule in default_rules():
+        allowed = config.allow.get(rule.id, ())
+        state = (f"allowlisted for: {', '.join(allowed)}" if allowed
+                 else "enabled everywhere")
+        lines.append(f"{rule.id}  {rule.name:<32} {rule.summary}")
+        lines.append(f"       {state}")
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -59,6 +80,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ConfigError as exc:
             print(f"lint: bad config: {exc}", file=sys.stderr)
             return 2
+
+    if args.list_rules:
+        sys.stdout.write(render_rule_list(config))
+        return 0
 
     if args.rules is None:
         rules = default_rules()
@@ -92,4 +117,4 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 1 if findings else 0
 
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "render_rule_list"]

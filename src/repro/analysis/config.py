@@ -105,15 +105,17 @@ def find_pyproject(start: Optional[str] = None) -> Optional[str]:
         here = parent
 
 
-def load_config(pyproject_path: Optional[str] = None) -> LintConfig:
-    """Config from ``pyproject.toml`` (searched upward when not given).
+def load_tool_table(pyproject_path: Optional[str] = None,
+                    tool: str = "darpalint") -> Mapping[str, object]:
+    """Raw decoded ``[tool.<tool>]`` table (empty when absent).
 
-    A missing file or a file with no ``[tool.darpalint]`` table yields
-    the defaults; a malformed table raises :class:`ConfigError`.
+    Shared by darpalint and darpaflow: ``tomllib`` where available,
+    the tool-scoped mini-TOML fallback elsewhere.  Raises
+    :class:`ConfigError` on unreadable/malformed input.
     """
     path = pyproject_path or find_pyproject()
     if path is None:
-        return LintConfig()
+        return {}
     try:
         with open(path, encoding="utf-8") as fp:
             text = fp.read()
@@ -125,9 +127,24 @@ def load_config(pyproject_path: Optional[str] = None) -> LintConfig:
         except _toml.TOMLDecodeError as exc:
             raise ConfigError(f"{path}: {exc}")
     else:  # pragma: no cover - exercised only on 3.9/3.10
-        data = _parse_mini_toml(text)
-    table = data.get("tool", {}).get("darpalint", {})
-    return config_from_table(table, origin=path)
+        data = _parse_mini_toml(text, tool=tool)
+    table = data.get("tool", {}).get(tool, {})
+    if not isinstance(table, Mapping):
+        raise ConfigError(f"{path}: [tool.{tool}] must be a table")
+    return table
+
+
+def load_config(pyproject_path: Optional[str] = None) -> LintConfig:
+    """Config from ``pyproject.toml`` (searched upward when not given).
+
+    A missing file or a file with no ``[tool.darpalint]`` table yields
+    the defaults; a malformed table raises :class:`ConfigError`.
+    """
+    path = pyproject_path or find_pyproject()
+    if path is None:
+        return LintConfig()
+    return config_from_table(load_tool_table(path, tool="darpalint"),
+                             origin=path)
 
 
 def config_from_table(table: Mapping[str, object],
@@ -242,14 +259,14 @@ def _split_list(body: str) -> List[str]:
     return parts
 
 
-def _parse_mini_toml(text: str) -> Dict[str, object]:
-    """Just enough TOML for ``[tool.darpalint]``: sections, string /
-    bool / number scalars and (multiline) flat lists.
+def _parse_mini_toml(text: str, tool: str = "darpalint") -> Dict[str, object]:
+    """Just enough TOML for one ``[tool.<name>]`` family: sections,
+    string / bool / number scalars and (multiline) flat lists.
 
-    Everything OUTSIDE ``[tool.darpalint*]`` sections is skipped
+    Everything OUTSIDE ``[tool.<name>*]`` sections is skipped
     wholesale — the rest of a real ``pyproject.toml`` uses TOML
     features (inline tables, escapes) this fallback has no business
-    understanding.  Inside the darpalint tables, malformed lines raise
+    understanding.  Inside the scoped tables, malformed lines raise
     :class:`ConfigError` rather than being silently dropped.
     """
     root: Dict[str, object] = {}
@@ -271,7 +288,7 @@ def _parse_mini_toml(text: str) -> Dict[str, object]:
         if match:
             parts = [part.strip("\"'")
                      for part in match.group(1).split(".")]
-            if parts[:2] != ["tool", "darpalint"]:
+            if parts[:2] != ["tool", tool]:
                 section = None
                 continue
             cursor: Dict[str, object] = root
@@ -308,5 +325,6 @@ __all__ = [
     "config_from_table",
     "find_pyproject",
     "load_config",
+    "load_tool_table",
     "rule_allowed",
 ]

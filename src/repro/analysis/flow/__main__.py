@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.flow`` — darpaflow without the repro CLI."""
+
+import sys
+
+from repro.analysis.flow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

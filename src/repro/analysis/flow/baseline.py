@@ -1,0 +1,115 @@
+"""darpaflow baseline: reviewed-and-accepted flows CI ignores.
+
+A committed ``flow-baseline.json`` lists flows a reviewer has looked
+at and accepted (with a reason); ``repro flow --baseline`` subtracts
+them so the gate fails only on *new* flows.  Fingerprints are
+**line-insensitive** — category, source name, source file, sink name,
+sink file — so refactors that merely move code do not churn the
+baseline, while moving a flow to a different file (or introducing a
+second one elsewhere) correctly reads as new.
+
+Schema::
+
+    {
+      "version": 1,
+      "accepted": [
+        {"fingerprint": "DF001:time.time@src/a.py->canonical_bytes@src/b.py",
+         "reason": "clock is the SimulatedClock shim, reviewed 2026-08"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.flow.taint import FlowFinding
+
+#: Bump when the baseline schema changes shape.
+BASELINE_VERSION = 1
+
+DEFAULT_REASON = "accepted via --update-baseline (review me)"
+
+
+class BaselineError(Exception):
+    """The baseline file is present but unreadable or malformed."""
+
+
+def fingerprint(finding: FlowFinding) -> str:
+    """Line-insensitive identity of one flow."""
+    source_path = finding.trace[0].path if finding.trace else finding.path
+    return (f"{finding.rule}:{finding.source}@{source_path}"
+            f"->{finding.sink}@{finding.path}")
+
+
+def load_baseline(path: str) -> Dict[str, str]:
+    """``fingerprint -> reason`` from a baseline file."""
+    try:
+        with open(path, encoding="utf-8") as fp:
+            data = json.load(fp)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}")
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not JSON: {exc}")
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected version {BASELINE_VERSION}")
+    entries = data.get("accepted", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'accepted' must be a list")
+    out: Dict[str, str] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("fingerprint"), str):
+            raise BaselineError(
+                f"baseline {path}: every entry needs a string "
+                "'fingerprint'")
+        out[entry["fingerprint"]] = str(entry.get("reason", ""))
+    return out
+
+
+def partition(findings: Sequence[FlowFinding],
+              accepted: Dict[str, str]) -> Tuple[List[FlowFinding],
+                                                 List[FlowFinding]]:
+    """Split findings into (new, baselined) against ``accepted``."""
+    fresh: List[FlowFinding] = []
+    known: List[FlowFinding] = []
+    for finding in findings:
+        (known if fingerprint(finding) in accepted else fresh).append(
+            finding)
+    return fresh, known
+
+
+def write_baseline(path: str, findings: Sequence[FlowFinding],
+                   existing: Dict[str, str] = None) -> int:
+    """Write a baseline accepting every flow in ``findings``.
+
+    Reasons from ``existing`` (a prior baseline) are preserved for
+    fingerprints that persist; new fingerprints get a placeholder
+    reason a reviewer is expected to replace.  Returns the number of
+    accepted entries written.
+    """
+    existing = existing or {}
+    prints = sorted({fingerprint(finding) for finding in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "accepted": [{"fingerprint": fp,
+                      "reason": existing.get(fp, DEFAULT_REASON)}
+                     for fp in prints],
+    }
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return len(prints)
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "DEFAULT_REASON",
+    "fingerprint",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]

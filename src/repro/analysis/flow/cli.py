@@ -1,0 +1,124 @@
+"""darpaflow command line (``repro flow`` / ``python -m repro.analysis.flow``).
+
+Exit codes follow the :mod:`repro.bench.regress` / darpalint
+conventions:
+
+- ``0`` — no unbaselined flows;
+- ``1`` — at least one new flow (traces on stdout);
+- ``2`` — usage error: missing path, malformed config or baseline
+  (reason on stderr; argparse itself also exits 2).
+
+Like darpalint's CLI, this module stays importable in a bare stdlib
+environment (no numpy), which keeps the CI flow-gate job cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.config import ConfigError
+from repro.analysis.engine import LintPathError
+from repro.analysis.flow.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analysis.flow.reporters import render
+from repro.analysis.flow.specs import FlowSpecs, load_flow_specs
+from repro.analysis.flow.taint import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro flow",
+        description="Interprocedural nondeterminism taint analysis: "
+                    "reports every source->sink flow (DF001-DF007) "
+                    "with its full hop trace.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--config", default=None, metavar="PYPROJECT",
+                        help="pyproject.toml to read [tool.darpaflow] "
+                             "from (default: nearest upward from cwd)")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.darpaflow] entirely")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="flow-baseline.json of accepted flows to "
+                             "subtract before gating")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline accepting every current "
+                             "flow (preserves existing reasons), then "
+                             "exit 0")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report here instead of stdout")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.update_baseline and not args.baseline:
+        print("flow: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+
+    if args.no_config:
+        specs = FlowSpecs()
+    else:
+        try:
+            specs = load_flow_specs(args.config)
+        except ConfigError as exc:
+            print(f"flow: bad config: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = analyze_paths(list(args.paths), specs)
+    except LintPathError as exc:
+        print(f"flow: {exc}", file=sys.stderr)
+        return 2
+
+    accepted = {}
+    if args.baseline and not args.update_baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"flow: {exc}", file=sys.stderr)
+            return 2
+
+    if args.update_baseline:
+        try:
+            existing = load_baseline(args.baseline)
+        except BaselineError:
+            existing = {}
+        try:
+            count = write_baseline(args.baseline, findings, existing)
+        except OSError as exc:
+            print(f"flow: cannot write {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"flow: baseline {args.baseline} now accepts {count} "
+              f"flow(s)")
+        return 0
+
+    fresh, known = partition(findings, accepted)
+    report = render(fresh, args.format, baselined=len(known))
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fp:
+                fp.write(report)
+        except OSError as exc:
+            print(f"flow: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        sys.stdout.write(report)
+    return 1 if fresh else 0
+
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,74 @@
+"""darpaflow output: deterministic text and JSON flow reports.
+
+Mirrors :mod:`repro.analysis.reporters`: both renderers consume the
+engine's already-sorted finding list and add nothing run-dependent, so
+two flow runs over the same tree — whatever the input path order —
+produce byte-identical reports.  The text form prints every hop of
+every trace (that is the whole point of the tool); JSON carries the
+same traces structurally plus the count of baselined flows so CI logs
+show what was intentionally ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from repro.analysis.flow.taint import FlowFinding
+
+#: Bump when the JSON flow-report schema changes shape.
+FLOW_REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[FlowFinding],
+                baselined: int = 0) -> str:
+    """Human-facing report: finding + indented hop trace, then summary."""
+    lines = [finding.render() for finding in findings]
+    suffix = f" ({baselined} baselined flow(s) not shown)" if baselined \
+        else ""
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(f"{rule}={count}"
+                              for rule, count in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(f"{len(findings)} flow(s) ({breakdown}){suffix}")
+    else:
+        lines.append(f"clean: no unsanitized flows{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[FlowFinding],
+                baselined: int = 0) -> str:
+    """Machine-facing report (sorted keys, stable ordering)."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": FLOW_REPORT_VERSION,
+        "count": len(findings),
+        "baselined": baselined,
+        "by_rule": by_rule,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+}
+
+
+def render(findings: Sequence[FlowFinding], fmt: str = "text",
+           baselined: int = 0) -> str:
+    try:
+        renderer = RENDERERS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown report format {fmt!r}")
+    return renderer(list(findings), baselined)
+
+
+__all__ = ["FLOW_REPORT_VERSION", "RENDERERS", "render", "render_json",
+           "render_text"]

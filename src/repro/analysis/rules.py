@@ -1,4 +1,4 @@
-"""darpalint rules DL001–DL007: the repo's real nondeterminism hazards.
+"""darpalint rules DL001–DL008: the repo's real nondeterminism hazards.
 
 Every rule encodes one defect class that has (or would have) broken
 the serving path's core invariant — *sequential and sharded runs are
@@ -34,6 +34,14 @@ simulated clock and explicit seeds*:
   diverging from per-row GEMMs at specific shapes).  Such products
   must carry a ``reduction-order:`` comment stating why the order is
   fixed (or why divergence is acceptable).
+- **DL008 unsorted-listing** — ``os.listdir``/``Path.iterdir``/
+  ``glob.glob`` enumerate in on-disk order, which differs across hosts
+  and runs; unless immediately sorted (or reduced by an
+  order-insensitive aggregate), everything derived from the listing
+  inherits that ordering.  The sanctioned raw enumeration lives in
+  :func:`repro.ops.artifacts.injectable_listing`, which sorts
+  internally and accepts an injected listing for tests.  This is the
+  intraprocedural shadow of darpaflow's ``listing`` taint source.
 
 Rules are deliberately syntactic: no type inference, no data flow.
 False positives are handled by ``# darpalint: disable=RULE`` inline
@@ -55,6 +63,8 @@ class Rule:
 
     id: str = "DL000"
     name: str = "abstract"
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
     hint: str = ""
 
     def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
@@ -93,6 +103,7 @@ WALL_CLOCK_CALLS = frozenset({
 class WallClockRule(Rule):
     id = "DL001"
     name = "wall-clock"
+    summary = "host wall-clock read outside repro.wallclock"
     hint = ("use the SimulatedClock for simulation state, or "
             "repro.wallclock for user-facing progress timing")
 
@@ -138,6 +149,7 @@ SEEDED_CONSTRUCTORS = frozenset({
 class UnseededRngRule(Rule):
     id = "DL002"
     name = "unseeded-rng"
+    summary = "process-global or unseeded RNG"
     hint = ("derive randomness from an explicit seed: "
             "np.random.default_rng(seed) or random.Random(seed)")
 
@@ -205,6 +217,7 @@ def _is_unordered(expr: ast.AST, ctx: FileContext) -> Optional[str]:
 class UnorderedIterationRule(Rule):
     id = "DL003"
     name = "unordered-iteration"
+    summary = "unordered iteration inside merge/export scopes"
     hint = "wrap the iterable in sorted(...) so merge output is stable"
 
     def _iter_exprs(self, node: ast.AST) -> Iterable[ast.AST]:
@@ -279,6 +292,7 @@ def _reads_target(value: ast.AST, target: ast.AST) -> bool:
 class FloatAccumulationRule(Rule):
     id = "DL004"
     name = "float-accumulation-in-merge"
+    summary = "order-sensitive float accumulation in merge scopes"
     hint = ("keep merge state integer (e.g. micros) or use math.fsum "
             "over the collected values — float += is order-sensitive")
 
@@ -313,6 +327,7 @@ class FloatAccumulationRule(Rule):
 class SwallowedExceptionRule(Rule):
     id = "DL005"
     name = "swallowed-exception"
+    summary = "bare except / except-pass hides fault outcomes"
     hint = ("catch specific exceptions and record the outcome — the "
             "fault-injection layer must be able to observe failures")
 
@@ -349,6 +364,7 @@ MUTABLE_CONSTRUCTORS = frozenset({
 class MutableDefaultRule(Rule):
     id = "DL006"
     name = "mutable-default-arg"
+    summary = "mutable default argument shared across calls"
     hint = "default to None and create the container inside the body"
 
     def _is_mutable(self, expr: ast.AST, ctx: FileContext) -> bool:
@@ -392,6 +408,7 @@ REDUCTION_ORDER_MARKER = "reduction-order:"
 class UndocumentedMatmulReductionRule(Rule):
     id = "DL007"
     name = "undocumented-matmul-reduction"
+    summary = "undocumented BLAS reduction in merge scopes"
     hint = ("a BLAS product is a float reduction with shape-dependent "
             "internal order; add a '# reduction-order: ...' comment "
             "stating why the accumulation order is fixed here")
@@ -426,6 +443,65 @@ class UndocumentedMatmulReductionRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# DL008 — unsorted filesystem enumeration
+# ---------------------------------------------------------------------------
+
+#: Dotted callables that enumerate a directory in filesystem order.
+LISTING_CALLS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+
+#: ``pathlib.Path`` methods that enumerate in filesystem order.  The
+#: receiver is usually untypeable syntactically, so any ``.iterdir()``
+#: counts — the method names are specific enough in practice.
+LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Enclosing callees that make enumeration order irrelevant: sorting,
+#: set construction, and order-insensitive aggregates.
+LISTING_ORDER_ERASERS = frozenset({
+    "sorted", "set", "frozenset", "len", "min", "max", "sum", "any",
+    "all",
+})
+
+#: Functions allowed to touch the raw listing: they sort internally
+#: and accept an injected listing for tests (repro.ops.artifacts).
+LISTING_HELPERS = frozenset({"injectable_listing"})
+
+
+class UnsortedListingRule(Rule):
+    id = "DL008"
+    name = "unsorted-listing"
+    summary = "unsorted filesystem enumeration"
+    hint = ("wrap the enumeration in sorted(...), or go through "
+            "repro.ops.artifacts.injectable_listing — filesystem "
+            "order differs across hosts and runs")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        if any(name in LISTING_HELPERS for name in ctx.scope):
+            return
+        dotted = ctx.resolve(node.func)
+        if dotted in LISTING_CALLS:
+            what = f"{dotted}()"
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr in LISTING_METHODS and \
+                (dotted is None or
+                 dotted.partition(".")[0] not in ("glob", "os")):
+            what = f".{node.func.attr}()"
+        else:
+            return
+        if any(callee.rpartition(".")[2] in LISTING_ORDER_ERASERS
+               for callee in ctx.enclosing_calls()):
+            return
+        yield self.finding(
+            node, ctx,
+            f"{what} enumerates the filesystem in on-disk order — "
+            "anything derived from it inherits a per-host, per-run "
+            "ordering")
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -437,6 +513,7 @@ ALL_RULES: Tuple[type, ...] = (
     SwallowedExceptionRule,
     MutableDefaultRule,
     UndocumentedMatmulReductionRule,
+    UnsortedListingRule,
 )
 
 RULES_BY_ID: Dict[str, type] = {cls.id: cls for cls in ALL_RULES}
@@ -469,6 +546,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "MutableDefaultRule",
     "UndocumentedMatmulReductionRule",
+    "UnsortedListingRule",
     "default_rules",
     "rules_for_ids",
 ]

@@ -18,7 +18,9 @@ Commands:
   (``--explain`` prints the profile attribution on failure)
 - ``profile``   — fold span dumps into a deterministic flame profile,
   or diff two profiles into a ranked attribution report
-- ``lint``      — darpalint static analysis (determinism rules DL001-6)
+- ``lint``      — darpalint static analysis (determinism rules DL001-8)
+- ``flow``      — darpaflow interprocedural nondeterminism taint
+  analysis (DF001-7, full source→sink hop traces, baseline gating)
 - ``survey``    — user-study findings (Section III-B)
 
 Error-path exit codes follow ``repro regress``: commands that read or
@@ -508,6 +510,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.rules:
         argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv.append("--list-rules")
     if args.config:
         argv += ["--config", args.config]
     if args.no_config:
@@ -515,6 +519,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.output:
         argv += ["--output", args.output]
     return lint_main(argv)
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.analysis.flow.cli import main as flow_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.config:
+        argv += ["--config", args.config]
+    if args.no_config:
+        argv.append("--no-config")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.output:
+        argv += ["--output", args.output]
+    return flow_main(argv)
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
@@ -703,11 +725,32 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text")
     p_lint.add_argument("--rules", default=None, metavar="DL001,DL003",
                         help="comma-separated rule ids (default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
     p_lint.add_argument("--config", default=None, metavar="PYPROJECT",
                         help="pyproject.toml with [tool.darpalint]")
     p_lint.add_argument("--no-config", action="store_true",
                         help="ignore [tool.darpalint] entirely")
     p_lint.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to a file")
+
+    p_flow = sub.add_parser(
+        "flow", help="darpaflow: interprocedural nondeterminism taint "
+                     "analysis (DF001-DF007)")
+    p_flow.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    p_flow.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    p_flow.add_argument("--config", default=None, metavar="PYPROJECT",
+                        help="pyproject.toml with [tool.darpaflow]")
+    p_flow.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.darpaflow] entirely")
+    p_flow.add_argument("--baseline", default=None, metavar="FILE",
+                        help="flow-baseline.json of accepted flows")
+    p_flow.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline accepting current flows")
+    p_flow.add_argument("--output", default=None, metavar="FILE",
                         help="write the report to a file")
 
     sub.add_parser("survey", help="user-study findings")
@@ -729,6 +772,7 @@ _COMMANDS = {
     "regress": _cmd_regress,
     "profile": _cmd_profile,
     "lint": _cmd_lint,
+    "flow": _cmd_flow,
     "survey": _cmd_survey,
 }
 

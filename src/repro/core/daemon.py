@@ -619,7 +619,7 @@ class DarpaDaemon:
         stale = ("journal.jsonl", "daemon.json", "drain.json", "trace.jsonl",
                  "metrics.jsonl", "telemetry.json", "telemetry.prom",
                  "profile.json")
-        for name in os.listdir(self.out_dir):
+        for name in sorted(os.listdir(self.out_dir)):
             if name in stale or name.startswith("shard-"):
                 os.remove(os.path.join(self.out_dir, name))
 

@@ -143,6 +143,24 @@ def _classify(names: Sequence[str]) -> Dict[str, List[str]]:
     return plan
 
 
+def injectable_listing(run_dir: str,
+                       names: Optional[Sequence[str]] = None) -> List[str]:
+    """The sanctioned directory enumeration: sorted, injectable.
+
+    Returns ``sorted(names)`` when a listing is injected (goldens
+    shuffle it to prove listing-order invariance) and a sorted
+    ``os.listdir`` otherwise — callers never see on-disk order, which
+    is why darpaflow treats this helper as a listing sanitizer and
+    DL008 exempts its body.  Raises :class:`RunDirectoryError` when
+    the directory is unreadable.
+    """
+    try:
+        listing = list(names) if names is not None else os.listdir(run_dir)
+    except OSError as exc:
+        raise RunDirectoryError(f"cannot list run directory: {exc}")
+    return sorted(listing)
+
+
 def _read_jsonl(path: str) -> List[Dict[str, object]]:
     records = []
     with open(path) as fp:
@@ -229,11 +247,7 @@ def load_run(
     the directory is unreadable or holds no recognizable artifacts.
     """
     profile = profile or DeviceProfile()
-    try:
-        listing = list(names) if names is not None else os.listdir(run_dir)
-    except OSError as exc:
-        raise RunDirectoryError(f"cannot list run directory: {exc}")
-    plan = _classify(listing)
+    plan = _classify(injectable_listing(run_dir, names))
     if not any(plan.values()):
         raise RunDirectoryError(
             f"no run artifacts (telemetry/trace/daemon) in {run_dir}")
@@ -362,5 +376,6 @@ __all__ = [
     "SpanView",
     "SessionTrace",
     "RunModel",
+    "injectable_listing",
     "load_run",
 ]

@@ -5,8 +5,11 @@ the linter earning its keep means flagging the dirty file while
 staying silent on all of this.
 """
 
+import glob
 import math
+import os
 import random
+from pathlib import Path
 
 import numpy as np
 
@@ -74,3 +77,20 @@ def collect_fresh(item, seen=None):
         seen = []
     seen.append(item)
     return seen
+
+
+def enumerate_sorted(run_dir):
+    # DL008 negative: every enumeration is order-erased at the call —
+    # sorted(), an order-insensitive aggregate, or set construction.
+    names = sorted(os.listdir(run_dir))
+    count = len(glob.glob(os.path.join(run_dir, "*.json")))
+    members = set(os.listdir(run_dir))
+    children = sorted(Path(run_dir).iterdir())
+    return names, count, members, children
+
+
+def injectable_listing(run_dir, names=None):
+    # DL008 negative: the sanctioned helper is allowed to touch the
+    # raw listing because it sorts before anyone can iterate it.
+    listing = list(names) if names is not None else os.listdir(run_dir)
+    return sorted(listing)

@@ -1,0 +1,7 @@
+"""Fixture: exactly one DL008 (unsorted filesystem enumeration) violation."""
+
+import os
+
+
+def collect_artifacts(run_dir):
+    return [name for name in os.listdir(run_dir) if name.endswith(".json")]

@@ -1,0 +1,28 @@
+"""Fixture: one interprocedural wall-clock -> canonical_bytes flow.
+
+The ``time.time()`` value crosses two helper functions before landing
+in the sink, so a syntactic rule (darpalint DL001 aside) cannot see
+the connection — darpaflow must report it with the complete hop chain.
+Line numbers in this file are pinned by the trace-exactness test:
+append only.
+"""
+
+import time
+
+from repro.ops.routes import canonical_bytes
+
+
+def read_clock():
+    stamp = time.time()
+    return stamp
+
+
+def wrap(value):
+    payload = {"stamp": value}
+    return payload
+
+
+def emit():
+    raw = read_clock()
+    enriched = wrap(raw)
+    return canonical_bytes(enriched)

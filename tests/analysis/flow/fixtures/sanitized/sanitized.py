@@ -1,0 +1,33 @@
+"""Fixture: sanitized and unsanitized flows side by side.
+
+- ``emit_sorted_listing`` — a listing flow erased by ``sorted()``;
+- ``emit_marked_clock`` — a wall-clock flow erased by the inline
+  ``# darpaflow: sanitized=`` marker;
+- ``emit_raw_listing`` — the SAME helper chain as the sorted variant,
+  minus the sanitizer: the one flow this file must report, proving
+  the clean siblings are near-misses rather than blind spots.
+"""
+
+import os
+import time
+
+from repro.ops.routes import canonical_bytes
+
+
+def listing(root):
+    names = os.listdir(root)
+    return names
+
+
+def emit_sorted_listing(root):
+    ordered = sorted(listing(root))
+    return canonical_bytes({"names": ordered})
+
+
+def emit_marked_clock():
+    stamp = time.time()  # darpaflow: sanitized=fixture-reviewed
+    return canonical_bytes({"stamp": stamp})
+
+
+def emit_raw_listing(root):
+    return canonical_bytes({"names": listing(root)})

@@ -1,0 +1,91 @@
+"""Program graph: module naming, function registry, callee resolution."""
+
+import os
+import textwrap
+
+from repro.analysis.flow import build_graph, module_name_for
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+class TestModuleNames:
+    def test_package_layout_drives_the_dotted_name(self):
+        # The canonical name ignores where the scan started from.
+        assert module_name_for("src/repro/ops/routes.py") == \
+            "repro.ops.routes"
+        assert module_name_for("src/repro/analysis/flow/graph.py") == \
+            "repro.analysis.flow.graph"
+
+    def test_init_py_names_the_package_itself(self):
+        assert module_name_for("src/repro/ops/__init__.py") == "repro.ops"
+
+    def test_loose_file_is_its_stem(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("x = 1\n")
+        assert module_name_for(str(loose)) == "script"
+
+
+class TestRegistry:
+    def test_functions_and_methods_are_registered(self, tmp_path):
+        source = textwrap.dedent("""\
+            def top(a, b):
+                return a
+
+            class Box:
+                def get(self, key):
+                    return key
+        """)
+        (tmp_path / "mod.py").write_text(source)
+        graph = build_graph([str(tmp_path)])
+        assert "mod.top" in graph.functions
+        assert "mod.Box.get" in graph.functions
+        assert graph.functions["mod.top"].params == ("a", "b")
+        assert graph.functions["mod.Box.get"].params == ("self", "key")
+
+    def test_nested_defs_stay_unknown_calls(self, tmp_path):
+        # Documented false-negative edge: closures are not summarized.
+        source = "def outer():\n    def inner():\n        pass\n"
+        (tmp_path / "mod.py").write_text(source)
+        graph = build_graph([str(tmp_path)])
+        assert "mod.outer" in graph.functions
+        assert "mod.outer.inner" not in graph.functions
+        assert "mod.inner" not in graph.functions
+
+    def test_parse_error_is_recorded_not_fatal(self, tmp_path):
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        graph = build_graph([str(tmp_path)])
+        assert len(graph.modules) == 1
+        assert len(graph.parse_errors) == 1
+        assert "does not parse" in next(iter(graph.parse_errors.values()))
+
+
+class TestResolution:
+    def test_self_calls_resolve_within_the_class(self, tmp_path):
+        source = textwrap.dedent("""\
+            class Writer:
+                def _encode(self, value):
+                    return value
+
+                def emit(self, value):
+                    return self._encode(value)
+        """)
+        (tmp_path / "mod.py").write_text(source)
+        graph = build_graph([str(tmp_path)])
+        hit = graph.resolve_callee("self._encode", "mod", "Writer")
+        assert hit is not None and hit.qualname == "mod.Writer._encode"
+
+    def test_module_local_and_unknown_callees(self, tmp_path):
+        (tmp_path / "mod.py").write_text("def helper():\n    pass\n")
+        graph = build_graph([str(tmp_path)])
+        assert graph.resolve_callee("helper", "mod", None) is not None
+        assert graph.resolve_callee("missing", "mod", None) is None
+        assert graph.resolve_callee(None, "mod", None) is None
+
+    def test_fixture_chain_resolves_across_the_repo_graph(self):
+        graph = build_graph([os.path.join(FIXTURES, "chain"), "src/repro"])
+        # The fixture's alias-resolved sink name is a real function in
+        # the same graph — exactly what the sink-before-callee check
+        # ordering in the taint engine protects.
+        assert graph.resolve_callee("repro.ops.routes.canonical_bytes",
+                                    "chain", None) is not None

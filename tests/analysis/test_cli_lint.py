@@ -44,9 +44,9 @@ class TestExitCodes:
         assert main([DIRTY]) == 1
         out = capsys.readouterr().out
         for rule in ("DL001", "DL002", "DL003", "DL004", "DL005", "DL006",
-                     "DL007"):
+                     "DL007", "DL008"):
             assert rule in out
-        assert "7 finding(s)" in out
+        assert "8 finding(s)" in out
 
     def test_missing_path_exits_two(self, tmp_path, capsys):
         rc = main([str(tmp_path / "nope")])
@@ -64,6 +64,31 @@ class TestExitCodes:
         assert "bad config" in capsys.readouterr().err
 
 
+class TestListRules:
+    def test_lists_every_rule_and_exits_zero(self, capsys):
+        assert main(["--list-rules", "--no-config"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("DL001", "DL002", "DL003", "DL004", "DL005", "DL006",
+                     "DL007", "DL008"):
+            assert rule in out
+        # Without config nothing is allowlisted.
+        assert "allowlisted for" not in out
+        assert "enabled everywhere" in out
+
+    def test_shows_allowlisted_paths_from_pyproject(self, capsys):
+        # The repo's own [tool.darpalint] allowlists DL001 for the
+        # wallclock module; --list-rules must surface that state.
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "allowlisted for: repro/wallclock.py" in out
+
+    def test_repro_cli_plumbs_list_rules(self, capsys):
+        from repro.cli import main as repro_main
+        assert repro_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DL008" in out and "unsorted filesystem enumeration" in out
+
+
 class TestReports:
     def test_rules_filter_limits_findings(self, capsys):
         assert main(["--rules", "DL001", DIRTY]) == 1
@@ -76,7 +101,7 @@ class TestReports:
         assert main(["--format", "json", "--output", str(report),
                      DIRTY]) == 1
         payload = json.loads(report.read_text())
-        assert payload["count"] == 7
+        assert payload["count"] == 8
         assert payload["by_rule"]["DL003"] == 1
 
     def test_json_bytes_identical_for_shuffled_paths(self, tmp_path):
@@ -100,7 +125,7 @@ class TestReproCliDelegation:
         assert repro_main(["lint", CLEAN]) == 0
         assert "clean" in capsys.readouterr().out
         assert repro_main(["lint", DIRTY]) == 1
-        assert "7 finding(s)" in capsys.readouterr().out
+        assert "8 finding(s)" in capsys.readouterr().out
 
     def test_repro_lint_missing_path(self, tmp_path, capsys):
         from repro.cli import main as repro_main

@@ -22,6 +22,7 @@ DIRTY = [
     ("dl005_swallowed_exception.py", "DL005"),
     ("dl006_mutable_default.py", "DL006"),
     ("dl007_matmul_reduction.py", "DL007"),
+    ("dl008_unsorted_listing.py", "DL008"),
 ]
 
 
@@ -43,7 +44,8 @@ class TestDirtyFixtures:
     def test_dirty_tree_has_one_finding_per_rule(self):
         findings = engine().lint_paths([os.path.join(FIXTURES, "dirty")])
         assert sorted(f.rule for f in findings) == \
-            ["DL001", "DL002", "DL003", "DL004", "DL005", "DL006", "DL007"]
+            ["DL001", "DL002", "DL003", "DL004", "DL005", "DL006",
+             "DL007", "DL008"]
 
     @pytest.mark.parametrize("filename,rule", DIRTY,
                              ids=[rule for _, rule in DIRTY])

@@ -43,6 +43,9 @@ import numpy as np
 import pytest
 
 from repro.analysis import LintConfig, LintEngine
+from repro.analysis.flow import FlowSpecs
+from repro.analysis.flow import analyze_paths as flow_analyze
+from repro.analysis.flow import render_json as flow_render_json
 from repro.android import (
     AppSpec,
     SemanticRole,
@@ -805,6 +808,114 @@ class TestDarpalintProperty:
         rng = np.random.default_rng(SEED_BASE * 5000 + seed)
         for source in _clean_snippets(rng):
             assert _lint_rules(source) == [], source
+
+
+# ---------------------------------------------------------------------------
+# darpaflow: a seeded interprocedural source->sink chain through N>=2
+# random helpers is always reported with the exact hop chain; inserting
+# a sanitizer on ANY hop kills the report; report bytes are invariant
+# to input path order.
+# ---------------------------------------------------------------------------
+
+_FLOW_KINDS = ("wall-clock", "listing")
+
+
+def _flow_chain(rng, kind, sanitize_hop=None):
+    """Generated module: one source->sink flow through n>=2 helpers.
+
+    Returns ``(source_text, helper_names)``.  ``sanitize_hop`` inserts
+    the kind-appropriate sanitizer inside that helper — ``sorted()``
+    for the listing chain (order taints are genuinely erased by
+    sorting), the ``# darpaflow: sanitized=`` marker for wall clock
+    (a value taint no reordering can clean).
+    """
+    n_hops = int(rng.integers(2, 5))
+    order = [str(name) for name in rng.permutation(list(_SNIPPET_NAMES))]
+    helpers = [f"hop_{name}" for name in order[:n_hops]]
+    source_call = ("time.time()" if kind == "wall-clock"
+                   else "os.listdir(root)")
+    lines = ["import os", "import time", "",
+             "from repro.ops.routes import canonical_bytes", "", "",
+             "def read_source(root):",
+             f"    value = {source_call}",
+             "    return value", "", ""]
+    for index, helper in enumerate(helpers):
+        if index == sanitize_hop and kind == "listing":
+            body = "    held = sorted(value)"
+        elif index == sanitize_hop:
+            body = "    held = value  # darpaflow: sanitized=proptest"
+        else:
+            body = "    held = value"
+        lines += [f"def {helper}(value):", body, "    return held", "", ""]
+    lines += ["def emit(root):", "    value = read_source(root)"]
+    lines += [f"    value = {helper}(value)" for helper in helpers]
+    lines.append('    return canonical_bytes({"value": value})')
+    return "\n".join(lines) + "\n", helpers
+
+
+class TestDarpaflowProperty:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("kind", _FLOW_KINDS)
+    def test_chain_always_reported_with_exact_hops(self, kind, seed,
+                                                   tmp_path):
+        rng = np.random.default_rng(
+            SEED_BASE * 10000 + seed * 10 + len(kind))
+        source, helpers = _flow_chain(rng, kind)
+        (tmp_path / "gen.py").write_text(source)
+        findings = flow_analyze([str(tmp_path)], FlowSpecs())
+        assert len(findings) == 1, source
+        finding = findings[0]
+        expected_rule = "DF001" if kind == "wall-clock" else "DF003"
+        assert finding.rule == expected_rule
+        assert finding.sink == "repro.ops.routes.canonical_bytes"
+        notes = [hop.note for hop in finding.trace]
+        assert notes[0].endswith("[source]")
+        assert notes[-1].endswith("[sink]")
+        # Every helper appears as a parameter hop, in chain order.
+        positions = [notes.index(f"parameter 'value' of gen.{helper}()")
+                     for helper in helpers]
+        assert positions == sorted(positions), source
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("kind", _FLOW_KINDS)
+    def test_sanitizer_on_any_hop_kills_the_flow(self, kind, seed,
+                                                 tmp_path):
+        seed_value = SEED_BASE * 11000 + seed * 10 + len(kind)
+        dirty, helpers = _flow_chain(np.random.default_rng(seed_value),
+                                     kind)
+        base = tmp_path / "dirty"
+        base.mkdir()
+        (base / "gen.py").write_text(dirty)
+        assert len(flow_analyze([str(base)], FlowSpecs())) == 1, dirty
+        for hop in range(len(helpers)):
+            # Fresh rng, same seed: the identical chain, one hop
+            # sanitized.  Whichever hop it is, the report dies.
+            clean, _ = _flow_chain(np.random.default_rng(seed_value),
+                                   kind, sanitize_hop=hop)
+            sub = tmp_path / f"hop{hop}"
+            sub.mkdir()
+            (sub / "gen.py").write_text(clean)
+            assert flow_analyze([str(sub)], FlowSpecs()) == [], clean
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_report_bytes_invariant_to_path_order(self, seed, tmp_path):
+        rng = np.random.default_rng(SEED_BASE * 12000 + seed)
+        dirs = []
+        for index in range(3):
+            source, _ = _flow_chain(rng, _FLOW_KINDS[index % 2])
+            sub = tmp_path / f"m{index}"
+            sub.mkdir()
+            # Distinct module names: colliding qualnames would shadow
+            # one another in the function registry.
+            (sub / f"gen{index}.py").write_text(source)
+            dirs.append(str(sub))
+        baseline = None
+        for _ in range(4):
+            order = [dirs[int(i)] for i in rng.permutation(len(dirs))]
+            payload = flow_render_json(flow_analyze(order, FlowSpecs()))
+            if baseline is None:
+                baseline = payload
+            assert payload == baseline
 
 
 # ---------------------------------------------------------------------------
